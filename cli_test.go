@@ -1,0 +1,164 @@
+package repro_test
+
+// End-to-end tests of the command-line tools: each binary is built with
+// `go build` into a temp dir and driven on the sample programs in
+// testdata/.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds four binaries")
+	}
+	dir := t.TempDir()
+	lbpcc := buildTool(t, dir, "lbp-cc")
+	lbpasm := buildTool(t, dir, "lbp-asm")
+	lbprun := buildTool(t, dir, "lbp-run")
+
+	// lbp-cc: MiniC -> assembly
+	asmPath := filepath.Join(dir, "vecsum.s")
+	runTool(t, lbpcc, "-o", asmPath, "-cores", "2", "testdata/vecsum.c")
+	asmText, err := os.ReadFile(asmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(asmText), "LBP_parallel_start") {
+		t.Error("compiled output must embed the detomp runtime")
+	}
+
+	// lbp-asm: assembly -> image, plus a listing
+	imgPath := filepath.Join(dir, "vecsum.img")
+	runTool(t, lbpasm, "-o", imgPath, asmPath)
+	listing := runTool(t, lbpasm, "-list", asmPath)
+	if !strings.Contains(listing, "p_fc") || !strings.Contains(listing, "main") {
+		t.Errorf("listing:\n%.400s", listing)
+	}
+
+	// lbp-run on all three input forms
+	for _, input := range []string{"testdata/vecsum.c", asmPath, imgPath} {
+		out := runTool(t, lbprun, "-cores", "2", "-digest", input)
+		if !strings.Contains(out, "halt:     exit") {
+			t.Errorf("%s: %s", input, out)
+		}
+		if !strings.Contains(out, "forks:    7") {
+			t.Errorf("%s must fork 7 team members:\n%s", input, out)
+		}
+		if !strings.Contains(out, "digest:") {
+			t.Errorf("%s: digest missing:\n%s", input, out)
+		}
+	}
+
+	// the digest is identical across runs and input forms
+	d1 := digestLine(t, runTool(t, lbprun, "-cores", "2", "-digest", asmPath))
+	d2 := digestLine(t, runTool(t, lbprun, "-cores", "2", "-digest", imgPath))
+	if d1 != d2 {
+		t.Errorf("digests differ across input forms: %s vs %s", d1, d2)
+	}
+
+	// plain assembly program
+	out := runTool(t, lbprun, "-cores", "1", "testdata/hello.s")
+	if !strings.Contains(out, "halt:     exit") {
+		t.Errorf("hello.s: %s", out)
+	}
+}
+
+func digestLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "digest:") {
+			return l
+		}
+	}
+	t.Fatalf("no digest in:\n%s", out)
+	return ""
+}
+
+func TestCLIBenchQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	out := runTool(t, bench, "-fig", "19")
+	for _, want := range []string{"Figure 19", "base", "tiled", "fastest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	out = runTool(t, bench, "-fig", "locality")
+	if !strings.Contains(out, "true") {
+		t.Errorf("locality output:\n%s", out)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	bad := filepath.Join(dir, "bad.c")
+	os.WriteFile(bad, []byte("void main() { undefined_fn(); }"), 0o644)
+	out, err := exec.Command(lbprun, bad).CombinedOutput()
+	if err == nil {
+		t.Errorf("bad program must fail, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "undefined") {
+		t.Errorf("error message: %s", out)
+	}
+}
+
+// Every example program must run to completion and print its headline.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := map[string]string{
+		"quickstart": "cycle-deterministic",
+		"matmul":     "verified",
+		"sensors":    "actuator",
+		"reduction":  "want 768",
+		"pipeline":   "identical",
+		"dma":        "no interrupts",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

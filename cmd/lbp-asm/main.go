@@ -1,0 +1,62 @@
+// lbp-asm assembles RV32IM + X_PAR assembly into an LBP program image,
+// or prints a listing with -list.
+//
+// Usage:
+//
+//	lbp-asm [-o out.img] [-list] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "image output file (default: stdout)")
+	list := flag.Bool("list", false, "print a disassembly listing instead of the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbp-asm [flags] file.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), asm.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for i, w := range prog.Text {
+			pc := prog.TextBase + uint32(4*i)
+			fmt.Printf("%08x: %08x  %s\n", pc, w, isa.Disassemble(isa.Decode(w), pc))
+		}
+		for _, name := range prog.SymbolsSorted() {
+			fmt.Printf("%08x  %s\n", prog.Symbols[name], name)
+		}
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := prog.WriteImage(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbp-asm:", err)
+	os.Exit(1)
+}

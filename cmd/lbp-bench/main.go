@@ -1,0 +1,214 @@
+// lbp-bench regenerates the paper's evaluation: Figures 19, 20 and 21
+// (the five matrix multiplication versions on 4-, 16- and 64-core LBP
+// machines, with the Xeon-Phi-like model on Figure 21) and the companion
+// experiments of DESIGN.md: cycle determinism (det), latency hiding vs
+// hart count (harts), deterministic I/O (io) and two-phase locality
+// (locality).
+//
+// Usage:
+//
+//	lbp-bench -fig 19|20|21|det|harts|io|locality|all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/figures"
+	"repro/internal/lbp"
+	"repro/internal/phimodel"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/experiment to run: 19|20|21|det|harts|io|locality|ablate|chips|response|all")
+	asJSON := flag.Bool("json", false, "emit matmul figure rows as JSON instead of tables")
+	flag.Parse()
+	jsonMode = *asJSON
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "lbp-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	run("19", func() error { return matmulFigure(16) })
+	run("20", func() error { return matmulFigure(64) })
+	run("21", func() error { return matmulFigure(256) })
+	run("det", determinism)
+	run("harts", ablation)
+	run("io", ioExperiment)
+	run("locality", locality)
+	run("ablate", designAblations)
+	run("chips", chips)
+	run("response", response)
+}
+
+var jsonMode bool
+
+func matmulFigure(h int) error {
+	rows, err := figures.RunMatmulFigure(h)
+	if err != nil {
+		return err
+	}
+	var phi *phimodel.Result
+	if h == 256 {
+		r := phimodel.Default().TiledMatmul(256)
+		phi = &r
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Figure int                 `json:"figure"`
+			Rows   []figures.MatmulRow `json:"rows"`
+			Phi    *phimodel.Result    `json:"xeonPhiModel,omitempty"`
+		}{figures.FigureForHarts(h), rows, phi})
+	}
+	fmt.Print(figures.FormatMatmulFigure(rows, phi))
+	return nil
+}
+
+func determinism() error {
+	var reports []figures.DetReport
+	for _, v := range workloads.Variants {
+		rep, err := figures.RunDeterminism(v, 16, 3)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	fmt.Print(figures.FormatDeterminism(reports))
+	return nil
+}
+
+func ablation() error {
+	rows, err := figures.RunHartAblation(20000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblation(rows))
+	return nil
+}
+
+func locality() error {
+	var rows []figures.LocalityRow
+	for _, h := range []int{16, 64} {
+		row, err := figures.RunLocality(h, 128)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(figures.FormatLocality(rows))
+	return nil
+}
+
+// designAblations sweeps the machine parameters DESIGN.md calls out.
+func designAblations() error {
+	hop, err := figures.RunHopLatAblation(workloads.Base, 16, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblationPoints("E8a — router hop latency sweep (base, 16 harts)", hop))
+	bank, err := figures.RunBankLatAblation(workloads.Base, 16, []int{1, 3, 6, 12})
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblationPoints("E8b — shared-bank latency sweep (base, 16 harts)", bank))
+	mo, err := figures.RunMemOrderAblation(workloads.Copy, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblationPoints("E8c — per-hart memory issue order (copy, 16 harts)", mo))
+	fu, err := figures.RunFULatAblation(workloads.Base, 16, []int{17, 68})
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblationPoints("E8d — divider latency (off the matmul critical path)", fu))
+	return nil
+}
+
+// response runs the E10 input-to-actuation sweep.
+func response() error {
+	rep, err := figures.RunResponseSweep(24)
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatResponse(rep))
+	return nil
+}
+
+// chips runs the Figure 15 multi-chip experiment.
+func chips() error {
+	pts, err := figures.RunChipAblation(workloads.Base, 16, []int{0, 2, 1}, 25)
+	if err != nil {
+		return err
+	}
+	fmt.Print(figures.FormatAblationPoints(
+		"E9 — Figure 15 chip lines (4 cores as 1, 2 or 4 chips; 25-cycle edges)", pts))
+	return nil
+}
+
+// ioExperiment runs the Figure 16 sensor fusion with two different input
+// schedules: same fused outputs, different cycle counts (E6).
+func ioExperiment() error {
+	src := workloads.SensorFusionSource(2)
+	asmText, err := cc.BuildProgram(src, cc.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		return err
+	}
+	runOnce := func(base uint64) (uint64, []lbp.ActuatorWrite, error) {
+		m := lbp.New(lbp.DefaultConfig(1))
+		if err := m.LoadProgram(prog); err != nil {
+			return 0, nil, err
+		}
+		for i := 0; i < 4; i++ {
+			m.AddDevice(&lbp.Sensor{
+				ValueAddr: prog.Symbols["sval"] + uint32(4*i),
+				FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
+				Events: []lbp.SensorEvent{
+					{Cycle: base + uint64(101*i), Value: uint32(10 * (i + 1))},
+					{Cycle: 4*base + uint64(57*i), Value: uint32(20 * (i + 1))},
+				},
+			})
+		}
+		act := &lbp.Actuator{
+			ValueAddr: prog.Symbols["factuator"],
+			SeqAddr:   prog.Symbols["aseq"],
+		}
+		m.AddDevice(act)
+		res, err := m.Run(50_000_000)
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.Stats.Cycles, act.Writes, nil
+	}
+	fmt.Println("E6 — Figure 16 sensor fusion under two input schedules")
+	for _, base := range []uint64{1000, 9000} {
+		cycles, writes, err := runOnce(base)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("schedule base=%5d: cycles=%8d actuator:", base, cycles)
+		for _, w := range writes {
+			fmt.Printf(" (%d @%d)", w.Value, w.Cycle)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(same fused values, cycle counts follow the inputs; ordering is preserved)")
+	return nil
+}

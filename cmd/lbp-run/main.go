@@ -1,0 +1,127 @@
+// lbp-run executes a program on a simulated LBP machine and reports the
+// run statistics. It accepts MiniC sources (.c), assembly (.s) or
+// serialized images (.img); the format is chosen by extension.
+//
+// Usage:
+//
+//	lbp-run [-cores N] [-max CYCLES] [-trace] [-digest] file.{c,s,img}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/trace"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "number of LBP cores")
+	max := flag.Uint64("max", 100_000_000, "cycle budget")
+	bank := flag.Uint("bank", 1<<16, "shared bank size in bytes (power of two)")
+	digest := flag.Bool("digest", false, "print the deterministic event-trace digest")
+	perCore := flag.Bool("percore", false, "print per-core retired instructions and IPC")
+	tail := flag.Int("tail", 0, "print the last N trace events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	prog, err := load(path, *cores, uint32(*bank))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := lbp.DefaultConfig(*cores)
+	cfg.Mem.SharedBytes = uint32(*bank)
+	m := lbp.New(cfg)
+	var rec *trace.Recorder
+	if *digest || *tail > 0 {
+		rec = trace.New(*tail)
+		m.SetTrace(rec)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		fatal(err)
+	}
+	res, err := m.Run(*max)
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("halt:     %s\n", res.Halt)
+	fmt.Printf("cycles:   %d\n", st.Cycles)
+	fmt.Printf("retired:  %d\n", st.Retired)
+	fmt.Printf("IPC:      %.2f (peak %d)\n", st.IPC(), *cores)
+	fmt.Printf("forks:    %d  joins: %d  signals: %d  sends: %d\n",
+		st.Forks, st.Joins, st.Signals, st.RemoteSends)
+	fmt.Printf("memory:   local=%d shared-local=%d shared-remote=%d cv=%d\n",
+		res.Mem.LocalAccesses, res.Mem.SharedLocal, res.Mem.SharedRemote, res.Mem.CVWrites)
+	busy := 0
+	for _, r := range st.PerHart {
+		if r > 0 {
+			busy++
+		}
+	}
+	fmt.Printf("harts:    %d of %d retired instructions\n", busy, len(st.PerHart))
+	if *perCore {
+		for c := 0; c < *cores; c++ {
+			var sum uint64
+			for h := 0; h < 4; h++ {
+				sum += st.PerHart[4*c+h]
+			}
+			fmt.Printf("core %2d:  retired=%d ipc=%.2f (harts %v)\n",
+				c, sum, float64(sum)/float64(st.Cycles),
+				st.PerHart[4*c:4*c+4])
+		}
+	}
+	if rec != nil {
+		if *digest {
+			fmt.Printf("digest:   %#x over %d events\n", rec.Digest(), rec.Count())
+		}
+		for _, e := range rec.Last(*tail) {
+			fmt.Println(e)
+		}
+	}
+}
+
+// load builds a program from a .c, .s or .img file.
+func load(path string, cores int, bank uint32) (*asm.Program, error) {
+	switch {
+	case strings.HasSuffix(path, ".img"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return asm.ReadImage(f)
+	case strings.HasSuffix(path, ".c"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		opt := cc.DefaultOptions()
+		opt.Cores = cores
+		opt.SharedBankBytes = bank
+		asmText, err := cc.BuildProgram(string(src), opt)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(asmText, asm.Options{})
+	default: // .s
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src), asm.Options{})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbp-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// A parallel reduction: the OpenMP reduction clause is lowered to the
+// backward inter-core line — each team member p_swre-sends its partial
+// sum to the creator hart's result buffer, and the creator accumulates
+// after the hardware join (Section 4 of the paper: "a team [can] produce
+// a reduction value and have its ... member send it to the join hart").
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+)
+
+const source = `
+#include <det_omp.h>
+#define NUM_HART 16
+#define N 256
+
+int data[N] = {[0 ... 255] = 3};
+int total;
+
+void main() {
+	int t;
+	total = 0;
+	#pragma omp parallel for reduction(+:total)
+	for (t = 0; t < NUM_HART; t++) {
+		int i;
+		int *p;
+		p = data + t * (N / NUM_HART);
+		for (i = 0; i < N / NUM_HART; i++) {
+			total += *p;
+			p = p + 1;
+		}
+	}
+}
+`
+
+func main() {
+	asmText, err := cc.BuildProgram(source, cc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := lbp.New(lbp.DefaultConfig(4))
+	if err := m.LoadProgram(prog); err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, _ := m.ReadShared(prog.Symbols["total"])
+	fmt.Printf("sum of 256 threes, reduced over 16 harts: %d (want 768)\n", total)
+	fmt.Printf("cycles: %d, backward-line sends: %d\n",
+		res.Stats.Cycles, res.Stats.RemoteSends)
+}

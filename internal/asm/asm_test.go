@@ -1,0 +1,469 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(p *Program) []isa.Inst {
+	out := make([]isa.Inst, len(p.Text))
+	for i, w := range p.Text {
+		out[i] = isa.Decode(w)
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	main:
+		addi sp, sp, -8
+		sw ra, 0(sp)
+		li t0, -1
+		lw ra, 0(sp)
+		addi sp, sp, 8
+		ret
+	`)
+	ins := decodeAll(p)
+	if len(ins) != 6 {
+		t.Fatalf("got %d instructions, want 6", len(ins))
+	}
+	if ins[0].Op != isa.OpADDI || ins[0].Rd != 2 || ins[0].Imm != -8 {
+		t.Errorf("inst 0: %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpSW || ins[1].Rs2 != 1 || ins[1].Rs1 != 2 {
+		t.Errorf("inst 1: %+v", ins[1])
+	}
+	if ins[2].Op != isa.OpADDI || ins[2].Rd != 5 || ins[2].Imm != -1 {
+		t.Errorf("li t0,-1 must be a single addi: %+v", ins[2])
+	}
+	if ins[5].Op != isa.OpJALR || ins[5].Rd != 0 || ins[5].Rs1 != 1 {
+		t.Errorf("ret: %+v", ins[5])
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %#x, want 0", p.Entry)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		li a0, 0
+	loop:
+		addi a0, a0, 1
+		blt a0, a1, loop
+		beqz a0, main
+		j done
+		nop
+	done:
+		ret
+	`)
+	ins := decodeAll(p)
+	// blt at index 2, loop at index 1 => offset -4
+	if ins[2].Op != isa.OpBLT || ins[2].Imm != -4 {
+		t.Errorf("blt: %+v", ins[2])
+	}
+	// beqz at index 3 targets main (0) => offset -12
+	if ins[3].Op != isa.OpBEQ || ins[3].Imm != -12 || ins[3].Rs2 != 0 {
+		t.Errorf("beqz: %+v", ins[3])
+	}
+	// j at index 4 targets done (index 6) => offset +8
+	if ins[4].Op != isa.OpJAL || ins[4].Rd != 0 || ins[4].Imm != 8 {
+		t.Errorf("j: %+v", ins[4])
+	}
+}
+
+func TestForwardLiSymbol(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		la a0, vec
+		lw a1, 0(a0)
+		ret
+		.data
+	vec:
+		.word 1, 2, 3
+	`)
+	ins := decodeAll(p)
+	if ins[0].Op != isa.OpLUI || ins[1].Op != isa.OpADDI {
+		t.Fatalf("la must expand to lui+addi: %v %v", ins[0].Op, ins[1].Op)
+	}
+	addr := uint32(ins[0].Imm) + uint32(ins[1].Imm)
+	if addr != DefaultDataBase {
+		t.Errorf("vec address = %#x, want %#x", addr, uint32(DefaultDataBase))
+	}
+	if len(p.Segments) != 1 || len(p.Segments[0].Words) != 3 {
+		t.Fatalf("segments: %+v", p.Segments)
+	}
+	if p.Segments[0].Words[2] != 3 {
+		t.Errorf("data words: %v", p.Segments[0].Words)
+	}
+}
+
+func TestLuiAddiCarryFixup(t *testing.T) {
+	// Value whose low 12 bits are >= 0x800 needs the +0x1000 carry fix.
+	p := mustAssemble(t, `
+	main:
+		li a0, 0x12345FFF
+		ret
+	`)
+	ins := decodeAll(p)
+	got := uint32(ins[0].Imm) + uint32(ins[1].Imm)
+	if got != 0x12345FFF {
+		t.Errorf("li value = %#x, want 0x12345FFF", got)
+	}
+}
+
+func TestXParSyntax(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		p_fc t6
+		p_swcv t6, ra, 0
+		p_swcv t6, t0, 4
+		p_swcv t6, a1, 8
+		p_merge t0, t0, t6
+		p_syncm
+		p_jalr ra, t0, a0
+		p_lwcv ra, 0
+		p_lwcv t0, 4
+		p_lwcv a1, 8
+		p_fn t5
+		p_set t0
+		p_set t1, t2
+		p_swre t0, a0, 1
+		p_lwre a0, 1
+		p_ret
+		p_ret ra, t0
+		p_jal ra, t6, main
+	`)
+	ins := decodeAll(p)
+	want := []isa.Op{isa.OpPFC, isa.OpPSWCV, isa.OpPSWCV, isa.OpPSWCV,
+		isa.OpPMERGE, isa.OpPSYNCM, isa.OpPJALR, isa.OpPLWCV, isa.OpPLWCV,
+		isa.OpPLWCV, isa.OpPFN, isa.OpPSET, isa.OpPSET, isa.OpPSWRE,
+		isa.OpPLWRE, isa.OpPJALR, isa.OpPJALR, isa.OpPJAL}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i, w := range want {
+		if ins[i].Op != w {
+			t.Errorf("inst %d: op %v, want %v", i, ins[i].Op, w)
+		}
+	}
+	if !ins[15].IsPRet() || !ins[16].IsPRet() {
+		t.Error("p_ret must decode with rd == x0")
+	}
+	if ins[11].Rs1 != 5 { // p_set t0 => rs1 defaults to rd
+		t.Errorf("p_set single operand: rs1 = %d, want 5", ins[11].Rs1)
+	}
+	if ins[6].Rd != 1 || ins[6].Rs1 != 5 || ins[6].Rs2 != 10 {
+		t.Errorf("p_jalr operands: %+v", ins[6])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ N, 16
+		.equ MASK, (1<<4)-1
+	main:
+		li a0, N*4
+		li a1, MASK
+		ret
+		.data
+	arr:
+		.space 16
+	brr:
+		.fill 4, 7
+	crr:
+		.org 0x80010000
+	far:
+		.word 42
+	`)
+	ins := decodeAll(p)
+	if ins[0].Imm != 64 {
+		t.Errorf("N*4 = %d", ins[0].Imm)
+	}
+	if ins[1].Imm != 15 {
+		t.Errorf("MASK = %d", ins[1].Imm)
+	}
+	if p.Symbols["brr"] != DefaultDataBase+16 {
+		t.Errorf("brr = %#x", p.Symbols["brr"])
+	}
+	if p.Symbols["far"] != 0x80010000 {
+		t.Errorf("far = %#x", p.Symbols["far"])
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("want 2 segments, got %+v", p.Segments)
+	}
+	if p.Segments[1].Addr != 0x80010000 || p.Segments[1].Words[0] != 42 {
+		t.Errorf("far segment: %+v", p.Segments[1])
+	}
+	if p.DataEnd() != 0x80010004 {
+		t.Errorf("DataEnd = %#x", p.DataEnd())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"main:\n\tfrobnicate a0", "unknown mnemonic"},
+		{"main:\n\taddi a0, a0", "want 3 operands"},
+		{"main:\n\tlw a0, nope", "want off(reg)"},
+		{"main:\n\tj nowhere", "undefined symbol"},
+		{"main:\nmain:\n\tret", "duplicate label"},
+		{"main:\n\taddi a0, q7, 1", "bad register"},
+		{".data\n\taddi a0, a0, 1", "in .data section"},
+		{"main:\n\tli a0, 1/0", "division by zero"},
+		{"main:\n\t.bogus 3", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestPassesAgreeOnAddresses(t *testing.T) {
+	// A li with a forward data symbol must take 2 slots in both passes so
+	// the label after it lands at the same place.
+	p := mustAssemble(t, `
+	main:
+		la a0, buf
+	after:
+		ret
+		.data
+	buf:
+		.word 0
+	`)
+	if p.Symbols["after"] != 8 {
+		t.Errorf("after = %#x, want 8", p.Symbols["after"])
+	}
+}
+
+func TestSwappedBranchPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		bgt a0, a1, main
+		ble a0, a1, main
+	`)
+	ins := decodeAll(p)
+	if ins[0].Op != isa.OpBLT || ins[0].Rs1 != 11 || ins[0].Rs2 != 10 {
+		t.Errorf("bgt: %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpBGE || ins[1].Rs1 != 11 || ins[1].Rs2 != 10 {
+		t.Errorf("ble: %+v", ins[1])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+	# full line comment
+	main: ; comment
+		nop # trailing
+		nop // c++ style
+
+	`)
+	if len(p.Text) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Text))
+	}
+}
+
+func TestHiLo(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ ADDR, 0x80001234
+	main:
+		lui a0, %hi(ADDR)
+		addi a0, a0, %lo(ADDR)
+		ret
+	`)
+	ins := decodeAll(p)
+	got := uint32(int64(ins[0].Imm) + int64(ins[1].Imm))
+	if got != 0x80001234 {
+		t.Errorf("hi/lo reconstruction = %#x", got)
+	}
+}
+
+func TestEntryIsMain(t *testing.T) {
+	p := mustAssemble(t, `
+	helper:
+		ret
+	main:
+		ret
+	`)
+	if p.Entry != 4 {
+		t.Errorf("entry = %d, want 4", p.Entry)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+	li a0, 1
+	la a1, data
+	ret
+	.data
+data:
+	.word 1, 2, 3
+	.org 0x80010000
+far:
+	.word 9
+`)
+	var buf strings.Builder
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadImage: %v\n%s", err, buf.String())
+	}
+	if q.Entry != p.Entry || q.TextBase != p.TextBase {
+		t.Errorf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text length %d vs %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Errorf("text[%d] = %08x vs %08x", i, q.Text[i], p.Text[i])
+		}
+	}
+	if len(q.Segments) != len(p.Segments) {
+		t.Fatalf("segments %d vs %d", len(q.Segments), len(p.Segments))
+	}
+	for i := range p.Segments {
+		if q.Segments[i].Addr != p.Segments[i].Addr ||
+			len(q.Segments[i].Words) != len(p.Segments[i].Words) {
+			t.Errorf("segment %d mismatch", i)
+		}
+	}
+	for name, v := range p.Symbols {
+		if q.Symbols[name] != v {
+			t.Errorf("symbol %s: %x vs %x", name, q.Symbols[name], v)
+		}
+	}
+}
+
+func TestReadImageErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1\n",
+		"lbpimage 2\n",
+		"lbpimage 1\ntext 0 4\n00000001\n", // truncated
+		"lbpimage 1\nwhat 0\n",             // unknown record
+		"lbpimage 1\ntext 0 1\nzz\n",       // bad word
+	}
+	for _, c := range cases {
+		if _, err := ReadImage(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadImage(%q) succeeded", c)
+		}
+	}
+}
+
+// Property: the disassembly of an assembled program re-assembles to the
+// identical text image (modulo label names, which the disassembler
+// renders as absolute addresses the assembler accepts as literals).
+func TestDisassemblyReassembles(t *testing.T) {
+	src := `
+main:
+	addi sp, sp, -16
+	sw ra, 0(sp)
+	li a0, 5
+	li a1, 0x12345678
+	la a2, buf
+	lw a3, 4(a2)
+	sw a3, 8(a2)
+	beq a3, zero, skip
+	mul a4, a3, a0
+	div a5, a4, a0
+skip:
+	p_fc t6
+	p_swcv t6, ra, 0
+	p_merge t0, t0, t6
+	p_syncm
+	p_lwcv a1, 8
+	p_swre zero, a4, 1
+	p_lwre a6, 1
+	lw ra, 0(sp)
+	addi sp, sp, 16
+	p_ret
+	.data
+buf:	.word 1, 2, 3
+`
+	p := mustAssemble(t, src)
+	var listing strings.Builder
+	listing.WriteString("main:\n")
+	for i, w := range p.Text {
+		pc := p.TextBase + uint32(4*i)
+		listing.WriteString("\t" + isa.Disassemble(isa.Decode(w), pc) + "\n")
+	}
+	// p_ret disassembles with parenthesized operands; normalize
+	norm := strings.ReplaceAll(listing.String(), "p_ret (ra, t0)", "p_ret ra, t0")
+	q, err := Assemble(norm, Options{})
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, norm)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("length %d vs %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Errorf("word %d: %08x vs %08x (%s)", i, q.Text[i], p.Text[i],
+				isa.Disassemble(isa.Decode(p.Text[i]), uint32(4*i)))
+		}
+	}
+}
+
+func TestExpressionEvaluator(t *testing.T) {
+	cases := map[string]int64{
+		"1+2*3":           7,
+		"(1+2)*3":         9,
+		"1<<4|3":          19,
+		"0xFF & 0x0F":     15,
+		"10 % 3":          1,
+		"-4 + 2":          -2,
+		"~0 & 0xF":        15,
+		"'A' + 1":         66,
+		"'\\n'":           10,
+		"(1<<16)-1":       65535,
+		"2*3+4*5":         26,
+		"100/7/2":         7,
+		"1 << 2 << 3":     32,
+		"%lo(0x80001234)": 0x234,
+		"%hi(0x80001234)": 0x80001,
+		"%lo(0x80000FFF)": -1, // sign-extended low 12 bits
+	}
+	for expr, want := range cases {
+		p := mustAssemble(t, ".equ V, "+expr+"\nmain:\n\tret\n")
+		_ = p
+		a := &assembler{symbols: map[string]uint32{}, equs: map[string]int64{}}
+		got, err := a.eval(line{num: 1}, expr)
+		if err != nil {
+			t.Errorf("eval(%q): %v", expr, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("eval(%q) = %d, want %d", expr, got, want)
+		}
+	}
+}
+
+func TestExpressionEvaluatorErrors(t *testing.T) {
+	bad := []string{"", "1+", "(1", "1//2", "nope", "%mid(1)", "1 2"}
+	a := &assembler{symbols: map[string]uint32{}, equs: map[string]int64{}, pass2: true}
+	for _, expr := range bad {
+		if _, err := a.eval(line{num: 1}, expr); err == nil {
+			t.Errorf("eval(%q) succeeded", expr)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Program image serialization: a simple line-oriented text format so that
+// lbp-asm output can be inspected, diffed and reloaded by lbp-run.
+//
+//	lbpimage 1
+//	entry <hex>
+//	text <base-hex> <nwords>
+//	<8-hex-digit word> ...
+//	seg <addr-hex> <nwords>
+//	<words...>
+//	sym <name> <hex>
+
+// WriteImage serializes the program.
+func (p *Program) WriteImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "lbpimage 1\n")
+	fmt.Fprintf(bw, "entry %08x\n", p.Entry)
+	fmt.Fprintf(bw, "text %08x %d\n", p.TextBase, len(p.Text))
+	writeWords(bw, p.Text)
+	for _, s := range p.Segments {
+		fmt.Fprintf(bw, "seg %08x %d\n", s.Addr, len(s.Words))
+		writeWords(bw, s.Words)
+	}
+	for _, name := range p.SymbolsSorted() {
+		fmt.Fprintf(bw, "sym %s %08x\n", name, p.Symbols[name])
+	}
+	return bw.Flush()
+}
+
+func writeWords(w io.Writer, words []uint32) {
+	for i, v := range words {
+		if i%8 == 7 || i == len(words)-1 {
+			fmt.Fprintf(w, "%08x\n", v)
+		} else {
+			fmt.Fprintf(w, "%08x ", v)
+		}
+	}
+}
+
+// ReadImage parses a serialized program.
+func ReadImage(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var fields []string
+	next := func() bool {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			fields = strings.Fields(line)
+			return true
+		}
+		return false
+	}
+	if !next() || len(fields) != 2 || fields[0] != "lbpimage" || fields[1] != "1" {
+		return nil, fmt.Errorf("asm: not an lbpimage v1 file")
+	}
+	p := &Program{Symbols: map[string]uint32{}}
+	readWords := func(n int) ([]uint32, error) {
+		out := make([]uint32, 0, n)
+		for len(out) < n {
+			if !next() {
+				return nil, fmt.Errorf("asm: truncated image (want %d words, got %d)", n, len(out))
+			}
+			for _, f := range fields {
+				var v uint32
+				if _, err := fmt.Sscanf(f, "%x", &v); err != nil {
+					return nil, fmt.Errorf("asm: bad word %q", f)
+				}
+				out = append(out, v)
+			}
+		}
+		if len(out) != n {
+			return nil, fmt.Errorf("asm: word count mismatch: %d vs %d", len(out), n)
+		}
+		return out, nil
+	}
+	for next() {
+		switch fields[0] {
+		case "entry":
+			if _, err := fmt.Sscanf(fields[1], "%x", &p.Entry); err != nil {
+				return nil, err
+			}
+		case "text":
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%x", &p.TextBase); err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
+				return nil, err
+			}
+			words, err := readWords(n)
+			if err != nil {
+				return nil, err
+			}
+			p.Text = words
+		case "seg":
+			var addr uint32
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%x", &addr); err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
+				return nil, err
+			}
+			words, err := readWords(n)
+			if err != nil {
+				return nil, err
+			}
+			p.Segments = append(p.Segments, Segment{Addr: addr, Words: words})
+		case "sym":
+			var v uint32
+			if _, err := fmt.Sscanf(fields[2], "%x", &v); err != nil {
+				return nil, err
+			}
+			p.Symbols[fields[1]] = v
+		default:
+			return nil, fmt.Errorf("asm: unknown image record %q", fields[0])
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,229 @@
+package cc
+
+// Types ------------------------------------------------------------------
+
+// TypeKind discriminates MiniC types.
+type TypeKind uint8
+
+const (
+	TypeInt TypeKind = iota
+	TypeVoid
+	TypePtr
+	TypeArray
+	TypeStruct
+)
+
+// Type is a MiniC type. Types are structurally compared except structs,
+// which are nominal.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type // Ptr, Array
+	Len    int   // Array
+	Name   string
+	Fields []Field // Struct
+	size   int
+}
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+var (
+	typeInt  = &Type{Kind: TypeInt, size: 4}
+	typeVoid = &Type{Kind: TypeVoid}
+)
+
+// Size returns the byte size of the type.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	case TypeStruct:
+		return t.size
+	}
+	return 0
+}
+
+// IsScalar reports whether the type fits a register.
+func (t *Type) IsScalar() bool { return t.Kind == TypeInt || t.Kind == TypePtr }
+
+func ptrTo(t *Type) *Type { return &Type{Kind: TypePtr, Elem: t} }
+
+// String renders a type for diagnostics.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	case TypeStruct:
+		return "struct " + t.Name
+	}
+	return "?"
+}
+
+func sameType(a, b *Type) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TypePtr:
+		return sameType(a.Elem, b.Elem)
+	case TypeArray:
+		return a.Len == b.Len && sameType(a.Elem, b.Elem)
+	case TypeStruct:
+		return a.Name == b.Name
+	}
+	return true
+}
+
+// Expressions --------------------------------------------------------------
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+const (
+	ENum ExprKind = iota
+	EVar
+	EUnary  // Op: - ! ~ * &  (Deref and AddrOf)
+	EBinary // arithmetic/comparison/logical/shift
+	EAssign // Op: = += -= *= /= %= &= |= ^= <<= >>=
+	ECond   // ?:
+	ECall
+	EIndex  // a[i]
+	EMember // s.f  or  p->f (Arrow)
+	EIncDec // ++/-- (Prefix flag)
+	ECast   // (int) e — accepted and ignored
+)
+
+// Expr is an expression node. Type is filled by sema.
+type Expr struct {
+	Kind   ExprKind
+	Op     string
+	Num    int64
+	Name   string
+	Lhs    *Expr
+	Rhs    *Expr
+	Third  *Expr
+	Args   []*Expr
+	Prefix bool  // EIncDec
+	Arrow  bool  // EMember via ->
+	CastTo *Type // ECast target type
+	Line   int
+	Col    int
+
+	Type *Type
+	Sym  *Symbol // EVar resolution
+}
+
+// Statements ----------------------------------------------------------------
+
+// StmtKind discriminates statement nodes.
+type StmtKind uint8
+
+const (
+	SExpr StmtKind = iota
+	SDecl
+	SIf
+	SFor
+	SWhile
+	SDoWhile
+	SReturn
+	SBreak
+	SContinue
+	SBlock
+	SEmpty
+	SPragma // unconsumed pragma attached to the following statement
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind    StmtKind
+	Expr    *Expr // SExpr, SReturn (may be nil), SIf/SWhile cond
+	Init    *Stmt // SFor
+	Cond    *Expr // SFor
+	Post    *Expr // SFor
+	Body    *Stmt // SIf then, loops
+	Else    *Stmt // SIf
+	List    []*Stmt
+	Decl    *VarDecl
+	Prag    string // SPragma
+	Line    int
+	NoScope bool // SBlock that does not open a scope (multi-name decl)
+}
+
+// Declarations ---------------------------------------------------------------
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init *Expr       // scalar initializer
+	List []InitEntry // array initializer entries
+	Bank int         // shared-bank placement (__bank(n)); -1 = default
+	Line int
+	Sym  *Symbol
+}
+
+// InitEntry is one element (or GNU range) of an array initializer.
+type InitEntry struct {
+	Lo, Hi int // inclusive index range
+	Value  int64
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name     string
+	Ret      *Type
+	Params   []*VarDecl
+	Body     *Stmt
+	Line     int
+	IsThread bool // outlined OpenMP body: ends with p_ret
+
+	locals []*Symbol // filled by sema
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs  map[string]*Type
+	Globals  []*VarDecl
+	Funcs    []*FuncDecl
+	Includes []string
+}
+
+// Symbols ---------------------------------------------------------------------
+
+// SymKind discriminates symbol storage.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Kind      SymKind
+	Name      string
+	Type      *Type
+	Decl      *VarDecl
+	Func      *FuncDecl
+	AddrTaken bool
+
+	// Storage assignment (codegen):
+	Reg      int // callee-saved register number, or -1 if in memory
+	FrameOff int // frame offset when in memory
+	AsmName  string
+	ParamIdx int
+}

@@ -1,0 +1,435 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/lbp"
+	"repro/internal/trace"
+)
+
+// Differential testing: random integer expressions are evaluated by a Go
+// reference evaluator and by the compiled program running on the
+// simulated LBP; the results must agree bit-for-bit.
+
+// exprGen builds a random expression string over variables a..e and a
+// parallel Go evaluation.
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int32
+}
+
+func (g *exprGen) gen(depth int) (string, int32) {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		// leaf
+		if g.rng.Intn(2) == 0 {
+			names := []string{"a", "b", "c", "d", "e"}
+			n := names[g.rng.Intn(len(names))]
+			return n, g.vars[n]
+		}
+		v := int32(g.rng.Intn(2000) - 1000)
+		return fmt.Sprintf("%d", v), v
+	}
+	switch g.rng.Intn(16) {
+	case 0, 1:
+		s, v := g.gen(depth - 1)
+		return "(-" + "(" + s + "))", -v
+	case 2:
+		s, v := g.gen(depth - 1)
+		return "(~(" + s + "))", ^v
+	case 3:
+		s, v := g.gen(depth - 1)
+		r := int32(0)
+		if v == 0 {
+			r = 1
+		}
+		return "(!(" + s + "))", r
+	case 4: // ternary
+		c, cv := g.gen(depth - 1)
+		a, av := g.gen(depth - 1)
+		b, bv := g.gen(depth - 1)
+		r := bv
+		if cv != 0 {
+			r = av
+		}
+		return "((" + c + ") ? (" + a + ") : (" + b + "))", r
+	default:
+		ops := []string{"+", "-", "*", "&", "|", "^", "<", ">", "<=", ">=",
+			"==", "!=", "&&", "||", "<<", ">>", "/", "%"}
+		op := ops[g.rng.Intn(len(ops))]
+		l, lv := g.gen(depth - 1)
+		r, rv := g.gen(depth - 1)
+		switch op {
+		case "+":
+			return bin(l, op, r), lv + rv
+		case "-":
+			return bin(l, op, r), lv - rv
+		case "*":
+			return bin(l, op, r), lv * rv
+		case "&":
+			return bin(l, op, r), lv & rv
+		case "|":
+			return bin(l, op, r), lv | rv
+		case "^":
+			return bin(l, op, r), lv ^ rv
+		case "<":
+			return bin(l, op, r), b2i32(lv < rv)
+		case ">":
+			return bin(l, op, r), b2i32(lv > rv)
+		case "<=":
+			return bin(l, op, r), b2i32(lv <= rv)
+		case ">=":
+			return bin(l, op, r), b2i32(lv >= rv)
+		case "==":
+			return bin(l, op, r), b2i32(lv == rv)
+		case "!=":
+			return bin(l, op, r), b2i32(lv != rv)
+		case "&&":
+			return bin(l, op, r), b2i32(lv != 0 && rv != 0)
+		case "||":
+			return bin(l, op, r), b2i32(lv != 0 || rv != 0)
+		case "<<":
+			// mask the shift amount like the hardware does
+			sh := "((" + r + ") & 7)"
+			return bin(l, "<<", sh), lv << uint(rv&7)
+		case ">>":
+			sh := "((" + r + ") & 7)"
+			return bin(l, ">>", sh), lv >> uint(rv&7)
+		case "/":
+			den := "(((" + r + ") & 15) + 1)" // never zero
+			d := (rv & 15) + 1
+			return bin(l, "/", den), lv / d
+		case "%":
+			den := "(((" + r + ") & 15) + 1)"
+			d := (rv & 15) + 1
+			return bin(l, "%", den), lv % d
+		}
+	}
+	return "0", 0
+}
+
+func bin(l, op, r string) string { return "((" + l + ") " + op + " (" + r + "))" }
+
+func b2i32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	const rounds = 12
+	const exprsPerRound = 10
+	for round := 0; round < rounds; round++ {
+		vars := map[string]int32{
+			"a": int32(rng.Intn(200) - 100),
+			"b": int32(rng.Intn(2000) - 1000),
+			"c": int32(rng.Intn(65536) - 32768),
+			"d": int32(rng.Intn(7)) - 3,
+			"e": int32(rng.Int31()),
+		}
+		g := &exprGen{rng: rng, vars: vars}
+		var body strings.Builder
+		want := make([]int32, exprsPerRound)
+		for i := 0; i < exprsPerRound; i++ {
+			s, v := g.gen(4)
+			want[i] = v
+			fmt.Fprintf(&body, "\tout[%d] = %s;\n", i, s)
+		}
+		src := fmt.Sprintf(`
+int out[%d];
+void main() {
+	int a; int b; int c; int d; int e;
+	a = %d; b = %d; c = %d; d = %d; e = %d;
+%s
+}
+`, exprsPerRound, vars["a"], vars["b"], vars["c"], vars["d"], vars["e"], body.String())
+		asmText, err := BuildProgram(src, DefaultOptions())
+		if err != nil {
+			t.Fatalf("round %d: compile: %v\n%s", round, err, src)
+		}
+		prog, err := asm.Assemble(asmText, asm.Options{})
+		if err != nil {
+			t.Fatalf("round %d: assemble: %v", round, err)
+		}
+		m := lbp.New(lbp.DefaultConfig(1))
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatalf("round %d: run: %v\nsource:\n%s", round, err, src)
+		}
+		got, _ := m.ReadSharedSlice(prog.Symbols["out"], exprsPerRound)
+		for i := range want {
+			if int32(got[i]) != want[i] {
+				t.Errorf("round %d expr %d: machine %d, reference %d\nsource:\n%s",
+					round, i, int32(got[i]), want[i], src)
+			}
+		}
+	}
+}
+
+// Differential test of compound assignments and inc/dec against a Go
+// reference trace.
+func TestDifferentialCompound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 8; round++ {
+		x := int32(rng.Intn(100) + 1)
+		ref := x
+		var body strings.Builder
+		ops := []string{"+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="}
+		for i := 0; i < 12; i++ {
+			op := ops[rng.Intn(len(ops))]
+			v := int32(rng.Intn(7) + 1)
+			fmt.Fprintf(&body, "\tx %s %d;\n", op, v)
+			switch op {
+			case "+=":
+				ref += v
+			case "-=":
+				ref -= v
+			case "*=":
+				ref *= v
+			case "&=":
+				ref &= v
+			case "|=":
+				ref |= v
+			case "^=":
+				ref ^= v
+			case "<<=":
+				ref <<= uint(v)
+			case ">>=":
+				ref >>= uint(v)
+			}
+			if rng.Intn(2) == 0 {
+				body.WriteString("\tx++;\n")
+				ref++
+			} else {
+				body.WriteString("\t--x;\n")
+				ref--
+			}
+		}
+		src := fmt.Sprintf(`
+int out;
+void main() {
+	int x;
+	x = %d;
+%s	out = x;
+}
+`, x, body.String())
+		asmText, err := BuildProgram(src, DefaultOptions())
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		prog, err := asm.Assemble(asmText, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := lbp.New(lbp.DefaultConfig(1))
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := m.ReadShared(prog.Symbols["out"]); int32(got) != ref {
+			t.Errorf("round %d: machine %d, reference %d\n%s", round, int32(got), ref, src)
+		}
+	}
+}
+
+// The same random program compiled with and without the peephole pass
+// must compute identical results (the optimizer is semantics-preserving).
+func TestDifferentialMemoryLvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 6; round++ {
+		n := 8
+		ref := make([]int32, n)
+		var body strings.Builder
+		for i := 0; i < 24; i++ {
+			idx := rng.Intn(n)
+			v := int32(rng.Intn(50))
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&body, "\tarr[%d] = %d;\n", idx, v)
+				ref[idx] = v
+			case 1:
+				fmt.Fprintf(&body, "\tarr[%d] += %d;\n", idx, v)
+				ref[idx] += v
+			case 2:
+				fmt.Fprintf(&body, "\tarr[%d]++;\n", idx)
+				ref[idx]++
+			case 3:
+				j := rng.Intn(n)
+				fmt.Fprintf(&body, "\tarr[%d] = arr[%d] * 2 + 1;\n", idx, j)
+				ref[idx] = ref[j]*2 + 1
+			}
+		}
+		src := fmt.Sprintf(`
+int arr[%d];
+void main() {
+%s}
+`, n, body.String())
+		asmText, err := BuildProgram(src, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(asmText, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := lbp.New(lbp.DefaultConfig(1))
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.ReadSharedSlice(prog.Symbols["arr"], n)
+		for i := range ref {
+			if int32(got[i]) != ref[i] {
+				t.Errorf("round %d: arr[%d] = %d, reference %d\n%s",
+					round, i, int32(got[i]), ref[i], src)
+			}
+		}
+	}
+}
+
+// Regression: the peephole once dropped copies that carried live values
+// across the jumps inside ?:/&&/|| value constructs, and collapsed
+// temp-to-temp copies (dupTop) whose source stayed live. Both patterns
+// appear when a conditional value feeds a compound memory update.
+func TestConditionalValueInMemoryUpdate(t *testing.T) {
+	src := `
+int arr[4] = {10, 20, 30, 40};
+int out[4];
+void main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		arr[i] += (i < 2) ? 100 : (i && 1) * 1000;
+	}
+	out[0] = (arr[0] > 100) ? arr[0] : -1;
+	out[1] = arr[1];
+	out[2] = (0 || arr[2]) + (arr[2] ? 5 : 7);
+	out[3] = arr[3];
+}
+`
+	asmText, err := BuildProgram(src, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lbp.New(lbp.DefaultConfig(1))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadSharedSlice(prog.Symbols["out"], 4)
+	// arr after the loop: {110, 120, 1030, 1040}; (0||1030) is 1 in C
+	want := []uint32{110, 120, 1 + 5, 1040}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Every random program is also a determinism test: two runs of the same
+// image produce identical event digests.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := &exprGen{rng: rng, vars: map[string]int32{"a": 3, "b": -7, "c": 100, "d": 0, "e": 11}}
+	var body strings.Builder
+	for i := 0; i < 6; i++ {
+		s, _ := g.gen(4)
+		fmt.Fprintf(&body, "\tout[%d] = %s;\n", i, s)
+	}
+	src := fmt.Sprintf(`
+int out[6];
+void main() {
+	int a; int b; int c; int d; int e;
+	a = 3; b = -7; c = 100; d = 0; e = 11;
+%s
+}
+`, body.String())
+	asmText, err := BuildProgram(src, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func() uint64 {
+		m := lbp.New(lbp.DefaultConfig(1))
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Digest()
+	}
+	if digest() != digest() {
+		t.Error("random program runs diverged")
+	}
+}
+
+// Separate Machine instances are fully isolated: running several
+// concurrently from goroutines must not interfere (the simulated machine
+// itself uses no goroutines; the host may parallelize experiments).
+func TestMachinesIsolatedAcrossGoroutines(t *testing.T) {
+	asmText, err := BuildProgram(`
+int out;
+void main() {
+	int i;
+	out = 0;
+	for (i = 0; i < 500; i++) out += i;
+}
+`, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		cycles uint64
+		val    uint32
+	}
+	results := make(chan outcome, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			m := lbp.New(lbp.DefaultConfig(1))
+			if err := m.LoadProgram(prog); err != nil {
+				results <- outcome{}
+				return
+			}
+			res, err := m.Run(10_000_000)
+			if err != nil {
+				results <- outcome{}
+				return
+			}
+			v, _ := m.ReadShared(prog.Symbols["out"])
+			results <- outcome{res.Stats.Cycles, v}
+		}()
+	}
+	first := <-results
+	for i := 1; i < 8; i++ {
+		r := <-results
+		if r != first || r.val != 124750 {
+			t.Errorf("goroutine run diverged: %+v vs %+v", r, first)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lexOK(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, _, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0":          0,
+		"42":         42,
+		"0x1F":       31,
+		"0X1f":       31,
+		"0b101":      5,
+		"017":        15, // octal
+		"123u":       123,
+		"123UL":      123,
+		"2147483647": 2147483647,
+		"'A'":        65,
+		"'\\n'":      10,
+		"'\\t'":      9,
+		"'\\0'":      0,
+		"'\\\\'":     92,
+	}
+	for src, want := range cases {
+		toks := lexOK(t, src)
+		if len(toks) != 2 || toks[0].Kind != TNum || toks[0].Num != want {
+			t.Errorf("Lex(%q) = %v, want %d", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexOK(t, `
+// line comment
+a /* block
+   spanning lines */ b
+/* nested-ish ** stars */ c
+`)
+	var names []string
+	for _, tk := range toks {
+		if tk.Kind == TIdent {
+			names = append(names, tk.Val)
+		}
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("idents: %v", names)
+	}
+}
+
+func TestLexPunctuatorMaximalMunch(t *testing.T) {
+	toks := lexOK(t, "a<<=b>>=c&&d||e->f...")
+	var ps []string
+	for _, tk := range toks {
+		if tk.Kind == TPunct {
+			ps = append(ps, tk.Val)
+		}
+	}
+	want := []string{"<<=", ">>=", "&&", "||", "->", "..."}
+	if len(ps) != len(want) {
+		t.Fatalf("puncts: %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("punct %d: %q, want %q", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestLexMacroExpansion(t *testing.T) {
+	toks := lexOK(t, `
+#define A 1
+#define B (A + A)
+#define C B * B
+int x = C;
+`)
+	var rendered []string
+	for _, tk := range toks {
+		if tk.Kind != TEOF {
+			rendered = append(rendered, tk.String())
+		}
+	}
+	s := strings.Join(rendered, " ")
+	if !strings.Contains(s, "( 1 + 1 ) * ( 1 + 1 )") {
+		t.Errorf("expansion: %s", s)
+	}
+}
+
+func TestLexMacroSelfReference(t *testing.T) {
+	// a self-referential macro must not loop forever
+	toks := lexOK(t, "#define X X + 1\nint y = X;")
+	if len(toks) < 5 {
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestLexLineContinuation(t *testing.T) {
+	toks := lexOK(t, "#define LONG 1 + \\\n 2\nint x = LONG;")
+	count := 0
+	for _, tk := range toks {
+		if tk.Kind == TNum {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("continuation lost tokens: %v", toks)
+	}
+}
+
+func TestLexPragmaCapture(t *testing.T) {
+	toks := lexOK(t, "#pragma omp parallel for reduction(+:x)\nint y;")
+	if toks[0].Kind != TPragma || !strings.Contains(toks[0].Val, "reduction(+:x)") {
+		t.Errorf("pragma token: %v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"int x = 0x;",
+		"'unterminated",
+		"/* never closed",
+		"#define F(a) a",
+		"#ifdef X\n#endif",
+		"int x = @;",
+	}
+	for _, src := range bad {
+		if _, _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexIncludesRecorded(t *testing.T) {
+	_, incs, err := Lex("#include <det_omp.h>\n#include <stdio.h>\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 2 || incs[0] != "det_omp.h" || incs[1] != "stdio.h" {
+		t.Errorf("includes: %v", incs)
+	}
+}
+
+// Property: lexing never panics and always terminates with TEOF on
+// arbitrary printable input.
+func TestQuickLexTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		// constrain to printable ASCII to focus on lexical structure
+		buf := make([]byte, len(raw))
+		for i, b := range raw {
+			buf[i] = 32 + b%95
+		}
+		toks, _, err := Lex(string(buf))
+		if err != nil {
+			return true // rejection is fine; crashing is not
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary token soup.
+func TestQuickParseTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		buf := make([]byte, len(raw))
+		for i, b := range raw {
+			buf[i] = 32 + b%95
+		}
+		_, err := Parse(string(buf))
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

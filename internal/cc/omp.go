@@ -1,0 +1,441 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The OpenMP transform: runs on the parsed AST (before sema). It rewrites
+//
+//	#pragma omp parallel for [reduction(op:var)]
+//	for (i = LO; i < HI; i++) BODY
+//
+// into an outlined thread function and a call to the synthetic builtin
+// __lbp_parallel(f, trip), which codegen lowers to the Deterministic
+// OpenMP team launch (Figure 2 of the paper: LBP_parallel_start). Each
+// loop iteration becomes one team member, placed deterministically along
+// the LBP core line.
+//
+// It also rewrites
+//
+//	#pragma omp parallel sections { #pragma omp section S0 ... }
+//
+// into one outlined function dispatching on the member index.
+
+// ompPass rewrites all parallel pragmas in the program.
+func ompPass(prog *Program) error {
+	o := &ompTransform{prog: prog}
+	for _, f := range prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		o.fn = f
+		if err := o.walk(f.Body); err != nil {
+			return err
+		}
+	}
+	prog.Funcs = append(prog.Funcs, o.outlined...)
+	return nil
+}
+
+type ompTransform struct {
+	prog     *Program
+	fn       *FuncDecl
+	outlined []*FuncDecl
+	counter  int
+}
+
+func (o *ompTransform) walk(st *Stmt) error {
+	switch st.Kind {
+	case SBlock:
+		for i := 0; i < len(st.List); i++ {
+			c := st.List[i]
+			if c.Kind == SPragma {
+				kind := pragmaKind(c.Prag)
+				switch kind {
+				case "parallel for":
+					if i+1 >= len(st.List) || st.List[i+1].Kind != SFor {
+						return errf(c.Line, 1, "#pragma omp parallel for must precede a for loop")
+					}
+					repl, err := o.lowerParallelFor(c, st.List[i+1])
+					if err != nil {
+						return err
+					}
+					st.List[i] = &Stmt{Kind: SEmpty, Line: c.Line}
+					st.List[i+1] = repl
+					i++
+					continue
+				case "parallel sections":
+					if i+1 >= len(st.List) || st.List[i+1].Kind != SBlock {
+						return errf(c.Line, 1, "#pragma omp parallel sections must precede a block")
+					}
+					repl, err := o.lowerParallelSections(c, st.List[i+1])
+					if err != nil {
+						return err
+					}
+					st.List[i] = &Stmt{Kind: SEmpty, Line: c.Line}
+					st.List[i+1] = repl
+					i++
+					continue
+				case "", "ignored":
+					continue
+				default:
+					return errf(c.Line, 1, "unsupported pragma %q", c.Prag)
+				}
+			}
+			if err := o.walk(c); err != nil {
+				return err
+			}
+		}
+	case SIf:
+		if err := o.walk(st.Body); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return o.walk(st.Else)
+		}
+	case SFor, SWhile, SDoWhile:
+		return o.walk(st.Body)
+	}
+	return nil
+}
+
+// pragmaKind classifies a pragma line.
+func pragmaKind(p string) string {
+	fields := strings.Fields(p)
+	if len(fields) == 0 || fields[0] != "omp" {
+		return "ignored" // non-omp pragmas pass through silently
+	}
+	rest := strings.Join(fields[1:], " ")
+	switch {
+	case strings.HasPrefix(rest, "parallel for"):
+		return "parallel for"
+	case strings.HasPrefix(rest, "parallel sections"):
+		return "parallel sections"
+	case rest == "section":
+		return "section"
+	}
+	return rest
+}
+
+// reductionClause extracts "reduction(op:var)" from a pragma, if present.
+func reductionClause(p string) (op, name string, ok bool, err error) {
+	i := strings.Index(p, "reduction")
+	if i < 0 {
+		return "", "", false, nil
+	}
+	rest := p[i+len("reduction"):]
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "(") {
+		return "", "", false, fmt.Errorf("malformed reduction clause")
+	}
+	close := strings.Index(rest, ")")
+	if close < 0 {
+		return "", "", false, fmt.Errorf("malformed reduction clause")
+	}
+	inner := rest[1:close]
+	parts := strings.SplitN(inner, ":", 2)
+	if len(parts) != 2 {
+		return "", "", false, fmt.Errorf("reduction clause needs op:var")
+	}
+	op = strings.TrimSpace(parts[0])
+	name = strings.TrimSpace(parts[1])
+	if op != "+" && op != "*" && op != "|" && op != "&" && op != "^" {
+		return "", "", false, fmt.Errorf("unsupported reduction operator %q", op)
+	}
+	return op, name, true, nil
+}
+
+// loopShape validates the canonical parallel-for shape and returns the
+// loop variable name, the constant lower bound and the trip-count
+// expression (evaluated at the launch site).
+func loopShape(f *Stmt) (ivar string, lo int64, trip *Expr, err error) {
+	bad := func(msg string) error {
+		return errf(f.Line, 1, "parallel for: %s (need 'for (i = const; i < expr; i++)')", msg)
+	}
+	// init: "i = const" or "int i = const"
+	var name string
+	var loExpr *Expr
+	switch {
+	case f.Init == nil:
+		return "", 0, nil, bad("missing initialization")
+	case f.Init.Kind == SExpr && f.Init.Expr.Kind == EAssign && f.Init.Expr.Op == "=" &&
+		f.Init.Expr.Lhs.Kind == EVar:
+		name = f.Init.Expr.Lhs.Name
+		loExpr = f.Init.Expr.Rhs
+	case f.Init.Kind == SDecl && f.Init.Decl.Init != nil:
+		name = f.Init.Decl.Name
+		loExpr = f.Init.Decl.Init
+	default:
+		return "", 0, nil, bad("unsupported initialization")
+	}
+	loV, ok := foldConst(loExpr)
+	if !ok {
+		return "", 0, nil, bad("lower bound must be a constant")
+	}
+	// cond: "i < expr" or "i <= expr"
+	if f.Cond == nil || f.Cond.Kind != EBinary ||
+		(f.Cond.Op != "<" && f.Cond.Op != "<=") ||
+		f.Cond.Lhs.Kind != EVar || f.Cond.Lhs.Name != name {
+		return "", 0, nil, bad("unsupported condition")
+	}
+	hi := f.Cond.Rhs
+	// post: i++ / ++i / i += 1 / i = i + 1
+	okPost := false
+	if p := f.Post; p != nil {
+		switch {
+		case p.Kind == EIncDec && p.Op == "++" && p.Lhs.Kind == EVar && p.Lhs.Name == name:
+			okPost = true
+		case p.Kind == EAssign && p.Op == "+=" && p.Lhs.Kind == EVar && p.Lhs.Name == name:
+			if v, c := foldConst(p.Rhs); c && v == 1 {
+				okPost = true
+			}
+		case p.Kind == EAssign && p.Op == "=" && p.Lhs.Kind == EVar && p.Lhs.Name == name &&
+			p.Rhs.Kind == EBinary && p.Rhs.Op == "+" &&
+			p.Rhs.Lhs.Kind == EVar && p.Rhs.Lhs.Name == name:
+			if v, c := foldConst(p.Rhs.Rhs); c && v == 1 {
+				okPost = true
+			}
+		}
+	}
+	if !okPost {
+		return "", 0, nil, bad("unsupported increment")
+	}
+	// trip = hi - lo (+1 for <=)
+	trip = hi
+	if loV != 0 {
+		trip = &Expr{Kind: EBinary, Op: "-", Lhs: hi,
+			Rhs: &Expr{Kind: ENum, Num: loV}, Line: f.Line}
+	}
+	if f.Cond.Op == "<=" {
+		trip = &Expr{Kind: EBinary, Op: "+", Lhs: trip,
+			Rhs: &Expr{Kind: ENum, Num: 1}, Line: f.Line}
+	}
+	return name, loV, trip, nil
+}
+
+// threadParams builds the parameter list of an outlined thread function,
+// matching the detomp runtime ABI: a1=data, a2=index, a3=nt, a4=team.
+func threadParams(ivar string) []*VarDecl {
+	return []*VarDecl{
+		{Name: "__lbp_data", Type: typeInt, Bank: -1},
+		{Name: ivar, Type: typeInt, Bank: -1},
+		{Name: "__lbp_nt", Type: typeInt, Bank: -1},
+		{Name: "__lbp_team", Type: typeInt, Bank: -1},
+	}
+}
+
+// lowerParallelFor outlines the loop body and synthesizes the launch.
+func (o *ompTransform) lowerParallelFor(prag *Stmt, f *Stmt) (*Stmt, error) {
+	ivar, lo, trip, err := loopShape(f)
+	if err != nil {
+		return nil, err
+	}
+	redOp, redVar, hasRed, rerr := reductionClause(prag.Prag)
+	if rerr != nil {
+		return nil, errf(prag.Line, 1, "%v", rerr)
+	}
+
+	o.counter++
+	name := fmt.Sprintf("__omp_body_%d_%s", o.counter, o.fn.Name)
+	thread := &FuncDecl{
+		Name:     name,
+		Ret:      typeVoid,
+		Params:   threadParams(ivar),
+		Line:     f.Line,
+		IsThread: true,
+	}
+	body := &Stmt{Kind: SBlock, Line: f.Line}
+	if lo != 0 {
+		// i = LO + index
+		body.List = append(body.List, &Stmt{Kind: SExpr, Line: f.Line, Expr: &Expr{
+			Kind: EAssign, Op: "=",
+			Lhs: &Expr{Kind: EVar, Name: ivar, Line: f.Line},
+			Rhs: &Expr{Kind: EBinary, Op: "+",
+				Lhs:  &Expr{Kind: ENum, Num: lo},
+				Rhs:  &Expr{Kind: EVar, Name: ivar, Line: f.Line},
+				Line: f.Line},
+			Line: f.Line,
+		}})
+	}
+	loopBody := f.Body
+	if hasRed {
+		// declare the private accumulator and rewrite references
+		initVal := int64(0)
+		switch redOp {
+		case "*":
+			initVal = 1
+		case "&":
+			initVal = -1
+		}
+		body.List = append(body.List, &Stmt{Kind: SDecl, Line: f.Line, Decl: &VarDecl{
+			Name: "__lbp_red", Type: typeInt, Bank: -1, Line: f.Line,
+			Init: &Expr{Kind: ENum, Num: initVal},
+		}})
+		renameVar(loopBody, redVar, "__lbp_red")
+	}
+	body.List = append(body.List, loopBody)
+	if hasRed {
+		// lbp_send_result(__lbp_team, __lbp_red, 0)
+		body.List = append(body.List, &Stmt{Kind: SExpr, Line: f.Line, Expr: &Expr{
+			Kind: ECall, Line: f.Line,
+			Lhs: &Expr{Kind: EVar, Name: "lbp_send_result", Line: f.Line},
+			Args: []*Expr{
+				{Kind: EVar, Name: "__lbp_team", Line: f.Line},
+				{Kind: EVar, Name: "__lbp_red", Line: f.Line},
+				{Kind: ENum, Num: 0},
+			},
+		}})
+	}
+	thread.Body = body
+	o.outlined = append(o.outlined, thread)
+
+	// launch site: __lbp_parallel(thread, trip)
+	launch := &Stmt{Kind: SBlock, Line: f.Line, NoScope: true}
+	launch.List = append(launch.List, &Stmt{Kind: SExpr, Line: f.Line, Expr: &Expr{
+		Kind: ECall, Line: f.Line,
+		Lhs:  &Expr{Kind: EVar, Name: "__lbp_parallel", Line: f.Line},
+		Args: []*Expr{{Kind: EVar, Name: name, Line: f.Line}, trip},
+	}})
+	if hasRed {
+		// for (__i = 0; __i < trip; __i++) red = red OP lbp_recv_result(0)
+		cnt := fmt.Sprintf("__lbp_redi_%d", o.counter)
+		recv := &Expr{Kind: ECall, Line: f.Line,
+			Lhs:  &Expr{Kind: EVar, Name: "lbp_recv_result", Line: f.Line},
+			Args: []*Expr{{Kind: ENum, Num: 0}}}
+		loop := &Stmt{Kind: SFor, Line: f.Line,
+			Init: &Stmt{Kind: SDecl, Line: f.Line, Decl: &VarDecl{
+				Name: cnt, Type: typeInt, Bank: -1, Line: f.Line,
+				Init: &Expr{Kind: ENum, Num: 0}}},
+			Cond: &Expr{Kind: EBinary, Op: "<",
+				Lhs: &Expr{Kind: EVar, Name: cnt, Line: f.Line}, Rhs: cloneExpr(trip), Line: f.Line},
+			Post: &Expr{Kind: EIncDec, Op: "++",
+				Lhs: &Expr{Kind: EVar, Name: cnt, Line: f.Line}, Line: f.Line},
+			Body: &Stmt{Kind: SExpr, Line: f.Line, Expr: &Expr{
+				Kind: EAssign, Op: "=",
+				Lhs: &Expr{Kind: EVar, Name: redVar, Line: f.Line},
+				Rhs: &Expr{Kind: EBinary, Op: redOp,
+					Lhs:  &Expr{Kind: EVar, Name: redVar, Line: f.Line},
+					Rhs:  recv,
+					Line: f.Line},
+				Line: f.Line,
+			}},
+		}
+		launch.List = append(launch.List, loop)
+	}
+	return launch, nil
+}
+
+// lowerParallelSections outlines each section into one dispatcher thread.
+func (o *ompTransform) lowerParallelSections(prag *Stmt, blk *Stmt) (*Stmt, error) {
+	var sections []*Stmt
+	var cur *Stmt
+	for _, s := range blk.List {
+		if s.Kind == SPragma && pragmaKind(s.Prag) == "section" {
+			cur = &Stmt{Kind: SBlock, Line: s.Line}
+			sections = append(sections, cur)
+			continue
+		}
+		if cur == nil {
+			if s.Kind == SEmpty {
+				continue
+			}
+			return nil, errf(s.Line, 1, "statement before the first #pragma omp section")
+		}
+		cur.List = append(cur.List, s)
+	}
+	if len(sections) == 0 {
+		return nil, errf(prag.Line, 1, "parallel sections without any #pragma omp section")
+	}
+	o.counter++
+	name := fmt.Sprintf("__omp_sections_%d_%s", o.counter, o.fn.Name)
+	thread := &FuncDecl{
+		Name:     name,
+		Ret:      typeVoid,
+		Params:   threadParams("__lbp_index"),
+		Line:     prag.Line,
+		IsThread: true,
+	}
+	// if (idx == 0) S0 else if (idx == 1) S1 ...
+	var chain *Stmt
+	for i := len(sections) - 1; i >= 0; i-- {
+		cond := &Expr{Kind: EBinary, Op: "==",
+			Lhs:  &Expr{Kind: EVar, Name: "__lbp_index", Line: prag.Line},
+			Rhs:  &Expr{Kind: ENum, Num: int64(i)},
+			Line: prag.Line}
+		chain = &Stmt{Kind: SIf, Expr: cond, Body: sections[i], Else: chain, Line: prag.Line}
+	}
+	thread.Body = &Stmt{Kind: SBlock, List: []*Stmt{chain}, Line: prag.Line}
+	o.outlined = append(o.outlined, thread)
+
+	return &Stmt{Kind: SExpr, Line: prag.Line, Expr: &Expr{
+		Kind: ECall, Line: prag.Line,
+		Lhs: &Expr{Kind: EVar, Name: "__lbp_parallel", Line: prag.Line},
+		Args: []*Expr{
+			{Kind: EVar, Name: name, Line: prag.Line},
+			{Kind: ENum, Num: int64(len(sections))},
+		},
+	}}, nil
+}
+
+// renameVar rewrites every reference to `from` into `to` in a subtree.
+func renameVar(st *Stmt, from, to string) {
+	if st == nil {
+		return
+	}
+	rewriteExprs(st, func(e *Expr) {
+		if e.Kind == EVar && e.Name == from {
+			e.Name = to
+		}
+	})
+}
+
+// rewriteExprs applies fn to every expression in a statement subtree.
+func rewriteExprs(st *Stmt, fn func(*Expr)) {
+	if st == nil {
+		return
+	}
+	var we func(e *Expr)
+	we = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		we(e.Lhs)
+		we(e.Rhs)
+		we(e.Third)
+		for _, a := range e.Args {
+			we(a)
+		}
+	}
+	we(st.Expr)
+	we(st.Cond)
+	we(st.Post)
+	if st.Decl != nil {
+		we(st.Decl.Init)
+	}
+	rewriteExprs(st.Init, fn)
+	rewriteExprs(st.Body, fn)
+	rewriteExprs(st.Else, fn)
+	for _, c := range st.List {
+		rewriteExprs(c, fn)
+	}
+}
+
+// cloneExpr deep-copies an expression tree (pre-sema).
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.Lhs = cloneExpr(e.Lhs)
+	c.Rhs = cloneExpr(e.Rhs)
+	c.Third = cloneExpr(e.Third)
+	if e.Args != nil {
+		c.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneExpr(a)
+		}
+	}
+	return &c
+}

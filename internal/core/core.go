@@ -1,0 +1,180 @@
+// Package core is the library's front door: the paper's primary
+// contribution — Deterministic OpenMP programs executing on the LBP
+// parallelizing manycore — behind one small API.
+//
+// A System couples a compiler configuration with a machine configuration
+// so that bank placement (__bank, lbp_bank_ptr) and the simulated memory
+// geometry always agree. Typical use:
+//
+//	sys := core.NewSystem(4)                  // 4 cores, 16 harts
+//	prog, err := sys.CompileC(source)         // MiniC + #pragma omp
+//	rep, err := sys.Run(prog)                 // deterministic execution
+//	fmt.Println(rep.Cycles, rep.IPC, rep.Digest)
+//
+// Every run is cycle-deterministic: Run with the same program on an
+// equally-configured System returns the identical Report, digest
+// included. Verify that directly with RunRepeatable.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/trace"
+)
+
+// System describes one LBP machine and its toolchain.
+type System struct {
+	Cores   int
+	Machine lbp.Config
+	CC      cc.Options
+
+	// MaxCycles bounds each run (default 100M).
+	MaxCycles uint64
+
+	// Devices are attached to every machine built by Run.
+	Devices []func(prog *asm.Program) lbp.Device
+}
+
+// NewSystem returns a system with the paper-inspired defaults.
+func NewSystem(cores int) *System {
+	mc := lbp.DefaultConfig(cores)
+	co := cc.DefaultOptions()
+	co.Cores = cores
+	co.SharedBankBytes = mc.Mem.SharedBytes
+	return &System{
+		Cores:     cores,
+		Machine:   mc,
+		CC:        co,
+		MaxCycles: 100_000_000,
+	}
+}
+
+// Program is a compiled, loadable LBP program.
+type Program struct {
+	*asm.Program
+	Assembly string // the generated assembly, for inspection
+}
+
+// CompileC compiles MiniC (with Deterministic OpenMP pragmas) into a
+// loadable program, appending the detomp runtime when needed.
+func (s *System) CompileC(source string) (*Program, error) {
+	asmText, err := cc.BuildProgram(source, s.CC)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: generated assembly rejected: %w", err)
+	}
+	return &Program{Program: prog, Assembly: asmText}, nil
+}
+
+// CompileAsm assembles X_PAR assembly into a loadable program.
+func (s *System) CompileAsm(source string) (*Program, error) {
+	prog, err := asm.Assemble(source, asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Program: prog, Assembly: source}, nil
+}
+
+// AddDevice registers a device constructor invoked per run with the
+// loaded program (to resolve port symbol addresses).
+func (s *System) AddDevice(mk func(prog *asm.Program) lbp.Device) {
+	s.Devices = append(s.Devices, mk)
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Halt    string
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+	Stats   lbp.Stats
+	Digest  uint64 // FNV-1a over the full event trace
+	Events  uint64
+
+	machine *lbp.Machine
+}
+
+// ReadWord reads a shared-memory word after the run (e.g. a global's
+// value, via prog.Symbols).
+func (r *Report) ReadWord(addr uint32) (uint32, bool) {
+	return r.machine.ReadShared(addr)
+}
+
+// ReadWords reads n consecutive shared words.
+func (r *Report) ReadWords(addr uint32, n int) ([]uint32, bool) {
+	return r.machine.ReadSharedSlice(addr, n)
+}
+
+// Global reads the value of a named global variable.
+func (r *Report) Global(prog *Program, name string) (uint32, error) {
+	a, ok := prog.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no symbol %q", name)
+	}
+	v, ok := r.ReadWord(a)
+	if !ok {
+		return 0, fmt.Errorf("core: symbol %q outside shared memory", name)
+	}
+	return v, nil
+}
+
+// Run executes the program on a fresh machine.
+func (s *System) Run(prog *Program) (*Report, error) {
+	m := lbp.New(s.Machine)
+	rec := trace.New(0)
+	m.SetTrace(rec)
+	if err := m.LoadProgram(prog.Program); err != nil {
+		return nil, err
+	}
+	for _, mk := range s.Devices {
+		m.AddDevice(mk(prog.Program))
+	}
+	max := s.MaxCycles
+	if max == 0 {
+		max = 100_000_000
+	}
+	res, err := m.Run(max)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Halt:    res.Halt,
+		Cycles:  res.Stats.Cycles,
+		Retired: res.Stats.Retired,
+		IPC:     res.Stats.IPC(),
+		Stats:   res.Stats,
+		Digest:  rec.Digest(),
+		Events:  rec.Count(),
+		machine: m,
+	}, nil
+}
+
+// RunRepeatable runs the program n times and checks cycle determinism:
+// it returns the common report and an error if any run diverged.
+func (s *System) RunRepeatable(prog *Program, n int) (*Report, error) {
+	if n < 1 {
+		n = 1
+	}
+	first, err := s.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		r, err := s.Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		if r.Digest != first.Digest || r.Cycles != first.Cycles {
+			return nil, fmt.Errorf(
+				"core: run %d diverged: digest %#x/%#x cycles %d/%d (determinism violated)",
+				i, r.Digest, first.Digest, r.Cycles, first.Cycles)
+		}
+	}
+	return first, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/lbp"
+)
+
+const squaresSrc = `
+#include <det_omp.h>
+#define NUM_HART 8
+int squares[NUM_HART];
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < NUM_HART; t++) squares[t] = t * t;
+}
+`
+
+func TestCompileAndRunC(t *testing.T) {
+	sys := NewSystem(2)
+	prog, err := sys.CompileC(squaresSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Assembly, "LBP_parallel_start") {
+		t.Error("runtime missing from the assembly")
+	}
+	rep, err := sys.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Halt != "exit" {
+		t.Errorf("halt = %q", rep.Halt)
+	}
+	vals, ok := rep.ReadWords(prog.Symbols["squares"], 8)
+	if !ok {
+		t.Fatal("cannot read squares")
+	}
+	for i, v := range vals {
+		if v != uint32(i*i) {
+			t.Errorf("squares[%d] = %d", i, v)
+		}
+	}
+	if rep.IPC <= 0 || rep.Cycles == 0 || rep.Events == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestRunRepeatable(t *testing.T) {
+	sys := NewSystem(2)
+	prog, err := sys.CompileC(squaresSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunRepeatable(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest == 0 {
+		t.Error("digest missing")
+	}
+}
+
+func TestCompileAsmAndGlobal(t *testing.T) {
+	sys := NewSystem(1)
+	prog, err := sys.CompileAsm(`
+main:
+	la a0, answer
+	li a1, 41
+	addi a1, a1, 1
+	sw a1, 0(a0)
+	li ra, 0
+	li t0, -1
+	p_ret
+	.data
+answer:	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rep.Global(prog, "answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("answer = %d", v)
+	}
+	if _, err := rep.Global(prog, "nope"); err == nil {
+		t.Error("unknown global must error")
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	sys := NewSystem(1)
+	if _, err := sys.CompileC("void main() { x = 1; }"); err == nil {
+		t.Error("bad C must fail")
+	}
+	if _, err := sys.CompileAsm("main:\n\tbogus x1\n"); err == nil {
+		t.Error("bad assembly must fail")
+	}
+}
+
+func TestSystemWithDevices(t *testing.T) {
+	sys := NewSystem(1)
+	sys.MaxCycles = 5_000_000
+	prog, err := sys.CompileC(`
+int flag;
+int val;
+int out;
+void main() {
+	while (lbp_poll(&flag) == 0) {}
+	out = val + 1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddDevice(func(p *asm.Program) lbp.Device {
+		return &lbp.Sensor{
+			ValueAddr: p.Symbols["val"],
+			FlagAddr:  p.Symbols["flag"],
+			Events:    []lbp.SensorEvent{{Cycle: 700, Value: 122}},
+		}
+	})
+	rep, err := sys.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rep.Global(prog, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 123 {
+		t.Errorf("out = %d", v)
+	}
+}
+
+func TestBankGeometryAgreement(t *testing.T) {
+	// The compiler's bank size must match the machine's so lbp_bank_ptr
+	// arithmetic lands where data was placed.
+	sys := NewSystem(4)
+	if sys.CC.SharedBankBytes != sys.Machine.Mem.SharedBytes {
+		t.Fatalf("geometry mismatch: %d vs %d",
+			sys.CC.SharedBankBytes, sys.Machine.Mem.SharedBytes)
+	}
+	prog, err := sys.CompileC(`
+int marker[2] __bank(3) = {77, 88};
+int out;
+void main() {
+	out = *(lbp_bank_ptr(3) + 1024 + 1);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := rep.Global(prog, "out")
+	if v != 88 {
+		t.Errorf("bank read = %d, want 88", v)
+	}
+}

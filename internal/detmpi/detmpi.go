@@ -1,0 +1,118 @@
+// Package detmpi implements the Deterministic MPI sketched in the
+// paper's perspectives (Section 8): a message-passing layer "built
+// around ordered communicators where a sender always precedes its
+// receiver(s) (i.e. the sender rank is lower than all its receivers
+// ranks)".
+//
+// Ranks are team members (one hart per rank, placed in order along the
+// LBP core line by the Deterministic OpenMP launch). A rank may send
+// only to higher ranks — a data cannot go back in time — which the
+// runtime enforces at run time (lbp_halt on violation). Each (src, dst)
+// pair has a depth-one mailbox in the receiver's own shared bank: the
+// receiver polls locally, the sender writes remotely (value first, then
+// the sequence word; the bank's FIFO port orders the two), and the
+// sender blocks until the receiver has consumed the previous message.
+// All synchronization reduces to read-after-write dependencies resolved
+// by the machine, so transferred values are deterministic regardless of
+// timing.
+package detmpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxRanks bounds the communicator size supported by the generated
+// mailbox layout (4 words per peer per rank must fit in the bank region).
+const MaxRanks = 256
+
+// reserveWords must match the cc.Options.BankReserveBytes/4 used to
+// compile the generated source (the default 4096/4).
+const reserveWords = 1024
+
+// Prelude returns the MiniC runtime for an n-rank communicator: the
+// mailbox accessors, dmpi_send, dmpi_recv and dmpi_rank/size helpers.
+// The user provides `void dmpi_main(int me, int nranks)` and calls
+// Launcher() from C main (or uses Program to assemble everything).
+func Prelude(nranks int) string {
+	return fmt.Sprintf(`/* Deterministic MPI runtime, %d ranks */
+#define DMPI_NR %d
+#define DMPI_RESW %d
+
+/* per-rank mailbox block, in the rank's own shared bank:
+   [0      .. NR)   seq[src]   incoming sequence numbers
+   [NR     .. 2NR)  val[src]   incoming values
+   [2NR    .. 3NR)  sent[dst]  outgoing message counters
+   [3NR    .. 4NR)  rcvd[src]  consumed message counters */
+int *__dmpi_base(int r) {
+	return lbp_bank_ptr(r >> 2) + DMPI_RESW + (r & 3) * 4 * DMPI_NR;
+}
+
+/* dmpi_send(me, dst, v): blocking ordered send; dst must exceed me. */
+void dmpi_send(int me, int dst, int v) {
+	int *box;
+	int *mine;
+	int n;
+	if (dst <= me) lbp_halt();
+	if (dst >= DMPI_NR) lbp_halt();
+	box = __dmpi_base(dst);
+	mine = __dmpi_base(me);
+	n = mine[2*DMPI_NR + dst] + 1;
+	mine[2*DMPI_NR + dst] = n;
+	/* depth-one flow control: wait until the receiver consumed n-1 */
+	while (lbp_poll(box + 3*DMPI_NR + me) < n - 1) {}
+	box[DMPI_NR + me] = v;   /* value first */
+	box[me] = n;             /* sequence second: same bank, ordered */
+}
+
+/* dmpi_recv(me, src): blocking ordered receive; src must be below me. */
+int dmpi_recv(int me, int src) {
+	int *box;
+	int n;
+	int v;
+	if (src >= me) lbp_halt();
+	if (src < 0) lbp_halt();
+	box = __dmpi_base(me);
+	n = box[3*DMPI_NR + src] + 1;
+	while (lbp_poll(box + src) < n) {}
+	v = box[DMPI_NR + src];
+	box[3*DMPI_NR + src] = n;  /* releases the sender's flow control */
+	return v;
+}
+
+int dmpi_size() { return DMPI_NR; }
+`, nranks, nranks, reserveWords)
+}
+
+// Launcher returns the C main that starts the communicator: one team
+// member per rank, each running dmpi_main(rank, nranks).
+func Launcher() string {
+	return `
+void main() {
+	int r;
+	#pragma omp parallel for
+	for (r = 0; r < DMPI_NR; r++) dmpi_main(r, DMPI_NR);
+}
+`
+}
+
+// Program assembles a complete MiniC source: the prelude, the user's
+// code (which must define dmpi_main), and the launcher.
+func Program(nranks int, user string) (string, error) {
+	if nranks < 1 || nranks > MaxRanks {
+		return "", fmt.Errorf("detmpi: %d ranks out of range [1, %d]", nranks, MaxRanks)
+	}
+	if nranks%4 != 0 && nranks != 1 {
+		return "", fmt.Errorf("detmpi: rank count %d must be a multiple of 4 (one hart per rank)", nranks)
+	}
+	if !strings.Contains(user, "dmpi_main") {
+		return "", fmt.Errorf("detmpi: user code must define dmpi_main(int me, int nranks)")
+	}
+	return Prelude(nranks) + "\n" + user + Launcher(), nil
+}
+
+// BankWordsNeeded returns the per-bank mailbox footprint in words, for
+// sizing the machine's shared banks (4 harts per bank).
+func BankWordsNeeded(nranks int) int {
+	return reserveWords + 4*4*nranks
+}

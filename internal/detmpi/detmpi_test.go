@@ -1,0 +1,223 @@
+package detmpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/trace"
+)
+
+// buildAndRun compiles a detmpi program and runs it on nranks/4 cores.
+func buildAndRun(t *testing.T, nranks int, user string) (*lbp.Machine, *asm.Program, *lbp.Result) {
+	t.Helper()
+	src, err := Program(nranks, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := nranks / 4
+	if cores == 0 {
+		cores = 1
+	}
+	opt := cc.DefaultOptions()
+	opt.Cores = cores
+	asmText, err := cc.BuildProgram(src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lbp.New(lbp.DefaultConfig(cores))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, prog, res
+}
+
+// A pipeline: rank 0 injects 100, each rank adds its number and forwards;
+// every rank also records what it saw.
+const pipelineUser = `
+int seen[DMPI_NR];
+
+void dmpi_main(int me, int nranks) {
+	int v;
+	if (me == 0) {
+		v = 100;
+	} else {
+		v = dmpi_recv(me, me - 1);
+	}
+	seen[me] = v;
+	if (me < nranks - 1) {
+		dmpi_send(me, me + 1, v + me + 1);
+	}
+}
+`
+
+func TestPipeline(t *testing.T) {
+	m, prog, _ := buildAndRun(t, 8, pipelineUser)
+	base := prog.Symbols["seen"]
+	// seen[r] = 100 + sum(1..r)
+	want := 100
+	for r := 0; r < 8; r++ {
+		if v, _ := m.ReadShared(base + uint32(4*r)); v != uint32(want) {
+			t.Errorf("seen[%d] = %d, want %d", r, v, want)
+		}
+		want += r + 1
+	}
+}
+
+// Rank 0 scatters a seed to every other rank directly; each squares it
+// and the last rank gathers nothing (no backward sends) — results land
+// in memory.
+const scatterUser = `
+int out[DMPI_NR];
+
+void dmpi_main(int me, int nranks) {
+	int i;
+	int v;
+	if (me == 0) {
+		out[0] = 7;
+		for (i = 1; i < nranks; i++) dmpi_send(0, i, i + 10);
+	} else {
+		v = dmpi_recv(me, 0);
+		out[me] = v * v;
+	}
+}
+`
+
+func TestScatterFromRankZero(t *testing.T) {
+	m, prog, _ := buildAndRun(t, 8, scatterUser)
+	base := prog.Symbols["out"]
+	if v, _ := m.ReadShared(base); v != 7 {
+		t.Errorf("out[0] = %d", v)
+	}
+	for r := 1; r < 8; r++ {
+		want := uint32((r + 10) * (r + 10))
+		if v, _ := m.ReadShared(base + uint32(4*r)); v != want {
+			t.Errorf("out[%d] = %d, want %d", r, v, want)
+		}
+	}
+}
+
+// Multiple messages on one (src, dst) pair: the depth-one flow control
+// serializes them without loss.
+const streamUser = `
+int sum;
+
+void dmpi_main(int me, int nranks) {
+	int i;
+	int acc;
+	if (me == 0) {
+		for (i = 1; i <= 20; i++) dmpi_send(0, 1, i);
+	}
+	if (me == 1) {
+		acc = 0;
+		for (i = 1; i <= 20; i++) acc += dmpi_recv(1, 0);
+		sum = acc;
+	}
+}
+`
+
+func TestStreamFlowControl(t *testing.T) {
+	m, prog, _ := buildAndRun(t, 4, streamUser)
+	if v, _ := m.ReadShared(prog.Symbols["sum"]); v != 210 {
+		t.Errorf("sum = %d, want 210", v)
+	}
+}
+
+// A backward send (to a lower rank) must halt the machine: the paper's
+// ordered-communicator rule.
+const backwardUser = `
+int out;
+void dmpi_main(int me, int nranks) {
+	if (me == 3) dmpi_send(3, 0, 1);
+	out = 1;
+}
+`
+
+func TestBackwardSendHalts(t *testing.T) {
+	src, err := Program(4, backwardUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := cc.BuildProgram(src, cc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lbp.New(lbp.DefaultConfig(1))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halt != "ebreak" {
+		t.Errorf("halt = %q, want ebreak (ordered-communicator violation)", res.Halt)
+	}
+}
+
+func TestDeterministicTransfer(t *testing.T) {
+	src, err := Program(8, pipelineUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cc.DefaultOptions()
+	opt.Cores = 2
+	asmText, err := cc.BuildProgram(src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func() uint64 {
+		m := lbp.New(lbp.DefaultConfig(2))
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Digest()
+	}
+	if digest() != digest() {
+		t.Error("detmpi runs must be cycle-deterministic")
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	if _, err := Program(0, pipelineUser); err == nil {
+		t.Error("0 ranks must fail")
+	}
+	if _, err := Program(6, pipelineUser); err == nil {
+		t.Error("non-multiple-of-4 must fail")
+	}
+	if _, err := Program(8, "int x;"); err == nil {
+		t.Error("missing dmpi_main must fail")
+	}
+	if _, err := Program(MaxRanks+4, pipelineUser); err == nil {
+		t.Error("too many ranks must fail")
+	}
+	if !strings.Contains(Prelude(8), "dmpi_send") {
+		t.Error("prelude must define dmpi_send")
+	}
+	if BankWordsNeeded(64) <= 0 {
+		t.Error("bank sizing")
+	}
+}

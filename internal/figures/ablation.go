@@ -1,0 +1,156 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lbp"
+	"repro/internal/workloads"
+)
+
+// Design ablations (E8+): measure how the paper's architectural choices
+// affect the headline experiment. Each ablation reruns a matmul variant
+// with one machine parameter changed.
+
+// AblationPoint is one (configuration, measurement) pair.
+type AblationPoint struct {
+	Label   string
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+}
+
+// runWith runs variant v at h harts on a machine derived from the
+// standard experiment machine by mutate.
+func runWith(v workloads.MatmulVariant, h int, label string, mutate func(*lbp.Config)) (AblationPoint, error) {
+	prog, err := workloads.BuildMatmul(v, h)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	cfg := lbp.DefaultConfig(h / 4)
+	cfg.Mem.SharedBytes = workloads.SharedBankBytes(h)
+	mutate(&cfg)
+	m := lbp.New(cfg)
+	if err := m.LoadProgram(prog); err != nil {
+		return AblationPoint{}, err
+	}
+	res, err := m.Run(workloads.MaxMatmulCycles(h))
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", label, err)
+	}
+	if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
+		return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", label, err)
+	}
+	return AblationPoint{
+		Label:   label,
+		Cycles:  res.Stats.Cycles,
+		Retired: res.Stats.Retired,
+		IPC:     res.Stats.IPC(),
+	}, nil
+}
+
+// RunHopLatAblation sweeps the per-link router latency: LBP's tree must
+// keep remote latency low enough for the 1-deep result buffers to hide.
+func RunHopLatAblation(v workloads.MatmulVariant, h int, hops []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, hop := range hops {
+		hop := hop
+		p, err := runWith(v, h, fmt.Sprintf("hop=%d", hop), func(c *lbp.Config) {
+			c.Mem.HopLat = hop
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunBankLatAblation sweeps the shared-bank access latency.
+func RunBankLatAblation(v workloads.MatmulVariant, h int, lats []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, lat := range lats {
+		lat := lat
+		p, err := runWith(v, h, fmt.Sprintf("bankLat=%d", lat), func(c *lbp.Config) {
+			c.Mem.SharedLat = lat
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunMemOrderAblation compares the strict per-hart memory issue order
+// with fully relaxed issue (the paper's bare hardware; safe here because
+// the matmul kernels have no same-address hazards inside a hart).
+func RunMemOrderAblation(v workloads.MatmulVariant, h int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, strict := range []bool{true, false} {
+		strict := strict
+		label := "relaxed"
+		if strict {
+			label = "strict"
+		}
+		p, err := runWith(v, h, label, func(c *lbp.Config) {
+			c.StrictMemOrder = strict
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunFULatAblation sweeps the divider latency to show it is off the
+// critical path of the matmul (no divisions in the inner loops).
+func RunFULatAblation(v workloads.MatmulVariant, h int, divLats []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, d := range divLats {
+		d := d
+		p, err := runWith(v, h, fmt.Sprintf("div=%d", d), func(c *lbp.Config) {
+			c.DivLat = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FormatAblationPoints renders one ablation table.
+func FormatAblationPoints(title string, pts []AblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s\n", "config", "cycles", "retired", "IPC")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-14s %12d %12d %8.2f\n", p.Label, p.Cycles, p.Retired, p.IPC)
+	}
+	return b.String()
+}
+
+// RunChipAblation compares one monolithic machine against the same core
+// count split into chips (Figure 15): the team spans the chip edges, the
+// program result is unchanged, the cycles grow with the edge latency.
+func RunChipAblation(v workloads.MatmulVariant, h int, chipSizes []int, chipHop int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, cs := range chipSizes {
+		cs := cs
+		label := "monolithic"
+		if cs > 0 && cs < h/4 {
+			label = fmt.Sprintf("chips-of-%d", cs)
+		}
+		p, err := runWith(v, h, label, func(c *lbp.Config) {
+			c.Mem.CoresPerChip = cs
+			c.Mem.ChipHopLat = chipHop
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,328 @@
+// Package figures reproduces the evaluation of the paper: Figures 19, 20
+// and 21 (cycles, IPC and retired instructions of the five matrix
+// multiplication versions on 4-, 16- and 64-core LBP machines, plus the
+// Xeon-Phi-like model for Figure 21), and the supporting experiments of
+// DESIGN.md: cycle determinism (E4), hart-count latency hiding (E5),
+// deterministic I/O (E6) and the locality of placed two-phase programs
+// (E7).
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/phimodel"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// MatmulRow is one bar group of Figures 19-21.
+type MatmulRow struct {
+	Variant workloads.MatmulVariant
+	Harts   int
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+	Remote  uint64 // routed shared accesses
+	Local   uint64 // local-bank + own-shared-bank accesses
+}
+
+// RunMatmul builds, runs and verifies one variant at h harts.
+func RunMatmul(v workloads.MatmulVariant, h int) (MatmulRow, error) {
+	prog, err := workloads.BuildMatmul(v, h)
+	if err != nil {
+		return MatmulRow{}, err
+	}
+	m := workloads.NewMatmulMachine(h)
+	if err := m.LoadProgram(prog); err != nil {
+		return MatmulRow{}, err
+	}
+	res, err := m.Run(workloads.MaxMatmulCycles(h))
+	if err != nil {
+		return MatmulRow{}, fmt.Errorf("figures: %s/%d: %w", v, h, err)
+	}
+	if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
+		return MatmulRow{}, err
+	}
+	return MatmulRow{
+		Variant: v,
+		Harts:   h,
+		Cycles:  res.Stats.Cycles,
+		Retired: res.Stats.Retired,
+		IPC:     res.Stats.IPC(),
+		Remote:  res.Mem.SharedRemote,
+		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,
+	}, nil
+}
+
+// RunMatmulFigure runs all five variants for one machine size.
+func RunMatmulFigure(h int) ([]MatmulRow, error) {
+	var rows []MatmulRow
+	for _, v := range workloads.Variants {
+		r, err := RunMatmul(v, h)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FigureForHarts maps a hart count to the paper's figure number.
+func FigureForHarts(h int) int {
+	switch h {
+	case 16:
+		return 19
+	case 64:
+		return 20
+	case 256:
+		return 21
+	}
+	return 0
+}
+
+// FormatMatmulFigure renders a figure like the paper's histograms
+// (number of cycles, IPC, retired instructions per version). For
+// Figure 21 pass the Phi model result; otherwise phi may be nil.
+func FormatMatmulFigure(rows []MatmulRow, phi *phimodel.Result) string {
+	var b strings.Builder
+	h := rows[0].Harts
+	fmt.Fprintf(&b, "Figure %d — matrix multiplication on a %d-core LBP (%d harts)\n",
+		FigureForHarts(h), h/4, h)
+	fmt.Fprintf(&b, "%-14s %14s %8s %14s %10s %10s\n",
+		"version", "cycles", "IPC", "retired", "remote", "local")
+	best := rows[0]
+	for _, r := range rows {
+		if r.Cycles < best.Cycles {
+			best = r
+		}
+	}
+	for _, r := range rows {
+		mark := " "
+		if r.Variant == best.Variant {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-13s%s %14d %8.2f %14d %10d %10d\n",
+			r.Variant, mark, r.Cycles, r.IPC, r.Retired, r.Remote, r.Local)
+	}
+	if phi != nil {
+		fmt.Fprintf(&b, "%-14s %14d %8.2f %14d %10s %10s   (calibrated model)\n",
+			"xeon-phi2", phi.Cycles, phi.IPC, phi.Instructions, "-", "-")
+	}
+	fmt.Fprintf(&b, "(* fastest; peak IPC = %d)\n", h/4)
+	return b.String()
+}
+
+// ---- E4: cycle determinism ------------------------------------------------
+
+// DetReport summarizes repeated runs of one program.
+type DetReport struct {
+	Variant  workloads.MatmulVariant
+	Harts    int
+	Runs     int
+	Digests  []uint64
+	Cycles   []uint64
+	AllEqual bool
+}
+
+// RunDeterminism runs a variant `n` times with full event tracing and
+// compares the digests and cycle counts.
+func RunDeterminism(v workloads.MatmulVariant, h, n int) (DetReport, error) {
+	rep := DetReport{Variant: v, Harts: h, Runs: n, AllEqual: true}
+	prog, err := workloads.BuildMatmul(v, h)
+	if err != nil {
+		return rep, err
+	}
+	for i := 0; i < n; i++ {
+		m := workloads.NewMatmulMachine(h)
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if err := m.LoadProgram(prog); err != nil {
+			return rep, err
+		}
+		res, err := m.Run(workloads.MaxMatmulCycles(h))
+		if err != nil {
+			return rep, err
+		}
+		rep.Digests = append(rep.Digests, rec.Digest())
+		rep.Cycles = append(rep.Cycles, res.Stats.Cycles)
+		if rep.Digests[i] != rep.Digests[0] || rep.Cycles[i] != rep.Cycles[0] {
+			rep.AllEqual = false
+		}
+	}
+	return rep, nil
+}
+
+// FormatDeterminism renders E4.
+func FormatDeterminism(reports []DetReport) string {
+	var b strings.Builder
+	b.WriteString("E4 — cycle determinism: repeated runs, full event-trace digests\n")
+	fmt.Fprintf(&b, "%-14s %6s %6s %18s %12s %s\n",
+		"version", "harts", "runs", "digest", "cycles", "identical")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-14s %6d %6d %#18x %12d %v\n",
+			r.Variant, r.Harts, r.Runs, r.Digests[0], r.Cycles[0], r.AllEqual)
+	}
+	return b.String()
+}
+
+// ---- E5: latency hiding through multithreading -----------------------------
+
+// AblationRow is one point of the hart-count ablation.
+type AblationRow struct {
+	Harts   int // team size on a single core
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+}
+
+// ablationSource runs k harts on one core, each over a dependent ALU
+// chain, so the IPC reflects pure pipeline filling (no memory effects).
+func ablationSource(k, iters int) string {
+	return fmt.Sprintf(`
+#define K %d
+#define N %d
+int out[4];
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < K; t++) {
+		int x;
+		int i;
+		x = t + 1;
+		for (i = 0; i < N; i++) x = x * 5 + 7;
+		out[t] = x;
+	}
+}
+`, k, iters)
+}
+
+// RunHartAblation measures core IPC with 1..4 active harts (E5: the
+// paper's claim that ~1 IPC/core needs all four harts; a single hart is
+// limited by the fetch suspension after every instruction).
+func RunHartAblation(iters int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for k := 1; k <= lbp.HartsPerCore; k++ {
+		asmText, err := cc.BuildProgram(ablationSource(k, iters), cc.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		prog, err := asm.Assemble(asmText, asm.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m := lbp.New(lbp.DefaultConfig(1))
+		if err := m.LoadProgram(prog); err != nil {
+			return nil, err
+		}
+		res, err := m.Run(uint64(200*iters*k + 1_000_000))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Harts:   k,
+			Cycles:  res.Stats.Cycles,
+			Retired: res.Stats.Retired,
+			IPC:     res.Stats.IPC(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders E5.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("E5 — core IPC vs active harts (dependent ALU chains, one core)\n")
+	fmt.Fprintf(&b, "%6s %12s %12s %8s\n", "harts", "cycles", "retired", "IPC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12d %12d %8.2f\n", r.Harts, r.Cycles, r.Retired, r.IPC)
+	}
+	b.WriteString("(peak 1 IPC/core; a lone hart is bounded by the per-fetch suspension)\n")
+	return b.String()
+}
+
+// ---- E7: locality of the placed two-phase program --------------------------
+
+// LocalityRow reports the Figure 4 experiment.
+type LocalityRow struct {
+	Harts   int
+	Cycles  uint64
+	Remote  uint64
+	Local   uint64
+	AllZero bool // no routed accesses at all
+}
+
+// localitySource is the Figure 4 program: a set phase then a get phase
+// over a vector whose chunk t lives in the bank of the core running
+// hart t — every access is local.
+func localitySource(h, chunk int) string {
+	return fmt.Sprintf(`
+#define H %d
+#define CHUNK %d
+#define RESW 128
+
+int *vchunk(int t) { return lbp_bank_ptr(t >> 2) + RESW + (t & 3) * CHUNK; }
+
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i;
+		p = vchunk(t);
+		for (i = 0; i < CHUNK; i++) { *p = t + i; p = p + 1; }
+	}
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i; int acc;
+		p = vchunk(t);
+		acc = 0;
+		for (i = 0; i < CHUNK; i++) { acc = acc + *p; p = p + 1; }
+		*vchunk(t) = acc;
+	}
+}
+`, h, chunk)
+}
+
+// RunLocality runs the placed set/get program and reports the access mix.
+func RunLocality(h, chunk int) (LocalityRow, error) {
+	opt := cc.DefaultOptions()
+	opt.Cores = h / 4
+	opt.BankReserveBytes = 512
+	asmText, err := cc.BuildProgram(localitySource(h, chunk), opt)
+	if err != nil {
+		return LocalityRow{}, err
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		return LocalityRow{}, err
+	}
+	m := lbp.New(lbp.DefaultConfig(h / 4))
+	if err := m.LoadProgram(prog); err != nil {
+		return LocalityRow{}, err
+	}
+	res, err := m.Run(uint64(h*chunk*1000 + 1_000_000))
+	if err != nil {
+		return LocalityRow{}, err
+	}
+	return LocalityRow{
+		Harts:   h,
+		Cycles:  res.Stats.Cycles,
+		Remote:  res.Mem.SharedRemote,
+		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,
+		AllZero: res.Mem.SharedRemote == 0,
+	}, nil
+}
+
+// FormatLocality renders E7.
+func FormatLocality(rows []LocalityRow) string {
+	var b strings.Builder
+	b.WriteString("E7 — Figure 4 placement: set/get phases on aligned harts and banks\n")
+	fmt.Fprintf(&b, "%6s %12s %10s %10s %s\n", "harts", "cycles", "remote", "local", "all-local")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12d %10d %10d %v\n", r.Harts, r.Cycles, r.Remote, r.Local, r.AllZero)
+	}
+	return b.String()
+}

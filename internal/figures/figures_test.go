@@ -1,0 +1,157 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phimodel"
+	"repro/internal/workloads"
+)
+
+func TestFigure19ShapeHolds(t *testing.T) {
+	rows, err := RunMatmulFigure(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[workloads.MatmulVariant]MatmulRow{}
+	for _, r := range rows {
+		by[r.Variant] = r
+	}
+	// Paper, Figure 19: on 4 cores the base version is the fastest even
+	// though tiled has the highest IPC; tiled is about twice slower.
+	for _, v := range workloads.Variants {
+		if v == workloads.Base {
+			continue
+		}
+		if by[workloads.Base].Cycles > by[v].Cycles {
+			t.Errorf("base (%d cycles) must be fastest at 16 harts, %s took %d",
+				by[workloads.Base].Cycles, v, by[v].Cycles)
+		}
+	}
+	if by[workloads.Tiled].IPC <= by[workloads.Base].IPC {
+		t.Errorf("tiled IPC (%.2f) must exceed base IPC (%.2f)",
+			by[workloads.Tiled].IPC, by[workloads.Base].IPC)
+	}
+	if by[workloads.Tiled].Cycles < 2*by[workloads.Base].Cycles {
+		t.Logf("note: tiled/base cycle ratio %.2f (paper: ~2)",
+			float64(by[workloads.Tiled].Cycles)/float64(by[workloads.Base].Cycles))
+	}
+	out := FormatMatmulFigure(rows, nil)
+	if !strings.Contains(out, "Figure 19") || !strings.Contains(out, "base") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestFigure20ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunMatmulFigure(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[workloads.MatmulVariant]MatmulRow{}
+	for _, r := range rows {
+		by[r.Variant] = r
+	}
+	// Paper, Figure 20: at 16 cores the copy version is the fastest and
+	// base is clearly slower than copy.
+	if by[workloads.Copy].Cycles > by[workloads.Base].Cycles {
+		t.Errorf("copy (%d) must beat base (%d) at 64 harts",
+			by[workloads.Copy].Cycles, by[workloads.Base].Cycles)
+	}
+	if by[workloads.Copy].IPC <= by[workloads.Base].IPC {
+		t.Errorf("copy IPC (%.2f) must exceed base IPC (%.2f)",
+			by[workloads.Copy].IPC, by[workloads.Base].IPC)
+	}
+}
+
+func TestCycleDeterminismAcrossVariants(t *testing.T) {
+	reports := []DetReport{}
+	for _, v := range []workloads.MatmulVariant{workloads.Base, workloads.Tiled} {
+		rep, err := RunDeterminism(v, 16, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AllEqual {
+			t.Errorf("%s: digests %v cycles %v differ across runs", v, rep.Digests, rep.Cycles)
+		}
+		reports = append(reports, rep)
+	}
+	out := FormatDeterminism(reports)
+	if !strings.Contains(out, "true") {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+func TestHartAblationScales(t *testing.T) {
+	rows, err := RunHartAblation(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// IPC must increase with the number of active harts, and four harts
+	// must at least double the single-hart IPC (the paper: at least two
+	// full harts are necessary to fill the pipeline).
+	for i := 1; i < 4; i++ {
+		if rows[i].IPC <= rows[i-1].IPC {
+			t.Errorf("IPC must grow with harts: %+v", rows)
+		}
+	}
+	if rows[3].IPC < 2*rows[0].IPC {
+		t.Errorf("4-hart IPC %.2f should at least double 1-hart IPC %.2f",
+			rows[3].IPC, rows[0].IPC)
+	}
+	if rows[0].IPC > 0.55 {
+		t.Errorf("a single hart cannot exceed ~0.5 IPC (fetch suspension), got %.2f", rows[0].IPC)
+	}
+}
+
+func TestLocalityAllLocal(t *testing.T) {
+	row, err := RunLocality(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.AllZero {
+		t.Errorf("placed set/get must make no routed accesses: %+v", row)
+	}
+	if row.Local == 0 {
+		t.Error("the program must access memory")
+	}
+}
+
+func TestPhiRowInFigure21Format(t *testing.T) {
+	rows := []MatmulRow{{Variant: workloads.Tiled, Harts: 256, Cycles: 3_400_000,
+		Retired: 200_000_000, IPC: 60}}
+	phi := phimodel.Default().TiledMatmul(256)
+	out := FormatMatmulFigure(rows, &phi)
+	if !strings.Contains(out, "xeon-phi2") || !strings.Contains(out, "Figure 21") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestResponseTimeBounded(t *testing.T) {
+	rep, err := RunResponseSweep(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) != 24 {
+		t.Fatalf("samples: %v", rep.Samples)
+	}
+	// The paper: "within a few cycles it is received ... easy to bound".
+	// The delay must be small (well under a thousand cycles end to end,
+	// including the parallel-sections join and the fusion arithmetic)
+	// and its jitter bounded by one polling-loop period.
+	if rep.Max > 2000 {
+		t.Errorf("response delay too large: %+v", rep)
+	}
+	if rep.Jitter() > 64 {
+		t.Errorf("jitter %d exceeds a polling period: %v", rep.Jitter(), rep.Samples)
+	}
+	out := FormatResponse(rep)
+	if !strings.Contains(out, "jitter") {
+		t.Errorf("format: %s", out)
+	}
+}

@@ -1,0 +1,58 @@
+package isa
+
+// Hart identity words.
+//
+// X_PAR instructions designate harts with a 32-bit identity word
+// (Figure 5 of the paper):
+//
+//	bit 31     : valid flag (0x80000000)
+//	bits 16-30 : the "home" hart — the hart a join address is sent to
+//	bits 0-15  : the "link" hart — the next team member, receiver of the
+//	             ending-hart signal and of continuation values
+//
+// A hart is globally numbered 4*core+hart (HartsPerCore is fixed at 4 in
+// the paper's design). p_set builds an identity with home = current hart;
+// p_merge grafts a freshly allocated hart into the link field.
+
+// HartsPerCore is the number of hardware threads per LBP core.
+const HartsPerCore = 4
+
+// HartIDValid is the valid flag of a hart identity word.
+const HartIDValid = 0x80000000
+
+// NoLink marks an identity word whose link field designates no hart.
+const NoLink = 0xFFFF
+
+// MakeHartID builds a valid identity word with the given home and link
+// global hart numbers.
+func MakeHartID(home, link uint32) uint32 {
+	return HartIDValid | (home&0x7FFF)<<16 | link&0xFFFF
+}
+
+// HomeHart extracts the home field of an identity word.
+func HomeHart(id uint32) uint32 { return id >> 16 & 0x7FFF }
+
+// LinkHart extracts the link field of an identity word.
+func LinkHart(id uint32) uint32 { return id & 0xFFFF }
+
+// GlobalHart converts (core, hart) to a global hart number.
+func GlobalHart(core, hart int) uint32 {
+	return uint32(core*HartsPerCore + hart)
+}
+
+// SplitHart converts a global hart number back to (core, hart).
+func SplitHart(g uint32) (core, hart int) {
+	return int(g) / HartsPerCore, int(g) % HartsPerCore
+}
+
+// PSet implements the p_set semantics: rd = (rs1 & 0xffff) |
+// (current hart << 16) | valid flag.
+func PSet(rs1, currentHart uint32) uint32 {
+	return HartIDValid | (currentHart&0x7FFF)<<16 | rs1&0xFFFF
+}
+
+// PMerge implements the p_merge semantics: keep the home (high) half of
+// rs1 and take the link (low) half from rs2.
+func PMerge(rs1, rs2 uint32) uint32 {
+	return rs1&0x7FFF0000 | rs2&0xFFFF | HartIDValid
+}

@@ -1,0 +1,285 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpLUI, Rd: 5, Imm: 0x12345 << 12},
+		{Op: OpAUIPC, Rd: 1, Imm: -4096},
+		{Op: OpJAL, Rd: 1, Imm: 2048},
+		{Op: OpJAL, Rd: 0, Imm: -2},
+		{Op: OpJALR, Rd: 1, Rs1: 5, Imm: -4},
+		{Op: OpBEQ, Rs1: 5, Rs2: 6, Imm: 16},
+		{Op: OpBNE, Rs1: 1, Rs2: 2, Imm: -16},
+		{Op: OpBLT, Rs1: 3, Rs2: 4, Imm: 4094},
+		{Op: OpBGE, Rs1: 3, Rs2: 4, Imm: -4096},
+		{Op: OpBLTU, Rs1: 31, Rs2: 30, Imm: 2},
+		{Op: OpBGEU, Rs1: 0, Rs2: 1, Imm: 8},
+		{Op: OpLW, Rd: 10, Rs1: 2, Imm: 12},
+		{Op: OpLB, Rd: 10, Rs1: 2, Imm: -1},
+		{Op: OpLBU, Rd: 10, Rs1: 2, Imm: 255},
+		{Op: OpLH, Rd: 7, Rs1: 8, Imm: 2},
+		{Op: OpLHU, Rd: 7, Rs1: 8, Imm: -2},
+		{Op: OpSW, Rs1: 2, Rs2: 10, Imm: -8},
+		{Op: OpSB, Rs1: 2, Rs2: 10, Imm: 7},
+		{Op: OpSH, Rs1: 2, Rs2: 10, Imm: 2046},
+		{Op: OpADDI, Rd: 2, Rs1: 2, Imm: -16},
+		{Op: OpSLTI, Rd: 5, Rs1: 6, Imm: 100},
+		{Op: OpSLTIU, Rd: 5, Rs1: 6, Imm: 100},
+		{Op: OpXORI, Rd: 5, Rs1: 6, Imm: -1},
+		{Op: OpORI, Rd: 5, Rs1: 6, Imm: 0x7FF},
+		{Op: OpANDI, Rd: 5, Rs1: 6, Imm: 0xFF},
+		{Op: OpSLLI, Rd: 5, Rs1: 6, Imm: 31},
+		{Op: OpSRLI, Rd: 5, Rs1: 6, Imm: 1},
+		{Op: OpSRAI, Rd: 5, Rs1: 6, Imm: 16},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSLL, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSLT, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSLTU, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpXOR, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSRL, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSRA, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpOR, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAND, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpMUL, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpMULH, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpMULHSU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpMULHU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpDIV, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpDIVU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpREM, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpREMU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpPFC, Rd: 31},
+		{Op: OpPFN, Rd: 30},
+		{Op: OpPSET, Rd: 5, Rs1: 5},
+		{Op: OpPMERGE, Rd: 5, Rs1: 5, Rs2: 31},
+		{Op: OpPSYNCM},
+		{Op: OpPJALR, Rd: 1, Rs1: 5, Rs2: 10},
+		{Op: OpPJALR, Rd: 0, Rs1: 1, Rs2: 5}, // p_ret
+		{Op: OpPJAL, Rd: 1, Rs1: 31, Imm: 64},
+		{Op: OpPSWCV, Rs1: 31, Rs2: 1, Imm: 0},
+		{Op: OpPSWCV, Rs1: 31, Rs2: 5, Imm: 8},
+		{Op: OpPLWCV, Rd: 1, Rs1: 2, Imm: 0},
+		{Op: OpPSWRE, Rs1: 5, Rs2: 10, Imm: 1},
+		{Op: OpPLWRE, Rd: 10, Imm: 1},
+	}
+	for _, c := range cases {
+		raw, err := Encode(c)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", c, err)
+		}
+		got := Decode(raw)
+		got.Raw = 0
+		if got.Op != c.Op || got.Rd != c.Rd || got.Rs2 != c.Rs2 || got.Imm != c.Imm {
+			t.Errorf("round trip %v: got %+v want %+v (raw %08x)", c.Op, got, c, raw)
+		}
+		// Rs1: p_lwcv injects the implicit sp.
+		wantRs1 := c.Rs1
+		if c.Op == OpPLWCV {
+			wantRs1 = 2
+		}
+		if got.Rs1 != wantRs1 {
+			t.Errorf("round trip %v: rs1 = %d want %d", c.Op, got.Rs1, wantRs1)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: 2048},
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -2049},
+		{Op: OpSW, Rs1: 1, Rs2: 1, Imm: 4000},
+		{Op: OpBEQ, Rs1: 1, Rs2: 1, Imm: 3}, // odd
+		{Op: OpBEQ, Rs1: 1, Rs2: 1, Imm: 4096},
+		{Op: OpJAL, Rd: 1, Imm: 1 << 20},
+		{Op: OpSLLI, Rd: 1, Rs1: 1, Imm: 32},
+	}
+	for _, c := range bad {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want range error", c)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, raw := range []uint32{0, 0xFFFFFFFF, 0x0000007F, 0x00000057} {
+		if in := Decode(raw); in.Op != OpInvalid {
+			t.Errorf("Decode(%08x) = %v, want invalid", raw, in.Op)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	checks := map[Op]Class{
+		OpADD: ClassALU, OpADDI: ClassALU, OpLUI: ClassALU,
+		OpMUL: ClassMul, OpDIV: ClassDiv, OpREMU: ClassDiv,
+		OpLW: ClassLoad, OpPLWCV: ClassLoad,
+		OpSW: ClassStore, OpPSWCV: ClassStore, OpPSWRE: ClassStore,
+		OpBEQ: ClassBranch, OpBGEU: ClassBranch,
+		OpJAL: ClassJump, OpJALR: ClassJump, OpPJAL: ClassJump, OpPJALR: ClassJump,
+		OpPSYNCM: ClassSystem, OpFENCE: ClassSystem,
+		OpPFC: ClassXPar, OpPFN: ClassXPar, OpPSET: ClassXPar,
+		OpPMERGE: ClassXPar, OpPLWRE: ClassXPar,
+	}
+	for op, want := range checks {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestWritesRd(t *testing.T) {
+	if (&Inst{Op: OpSW, Rd: 5}).WritesRd() {
+		t.Error("store must not write rd")
+	}
+	if (&Inst{Op: OpADD, Rd: 0}).WritesRd() {
+		t.Error("x0 destination must not count as a write")
+	}
+	if !(&Inst{Op: OpPFC, Rd: 31}).WritesRd() {
+		t.Error("p_fc writes its destination")
+	}
+	if !(&Inst{Op: OpPLWRE, Rd: 10}).WritesRd() {
+		t.Error("p_lwre writes its destination")
+	}
+	if (&Inst{Op: OpBEQ, Rd: 1}).WritesRd() {
+		t.Error("branches do not write a destination")
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for i, name := range RegNames {
+		got, ok := RegByName(name)
+		if !ok || got != uint8(i) {
+			t.Errorf("RegByName(%q) = %d,%v want %d", name, got, ok, i)
+		}
+	}
+	if r, ok := RegByName("x17"); !ok || r != 17 {
+		t.Errorf("RegByName(x17) = %d,%v", r, ok)
+	}
+	if r, ok := RegByName("fp"); !ok || r != 8 {
+		t.Errorf("RegByName(fp) = %d,%v", r, ok)
+	}
+	if _, ok := RegByName("x32"); ok {
+		t.Error("x32 must be rejected")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus must be rejected")
+	}
+}
+
+func TestHartIDFields(t *testing.T) {
+	id := MakeHartID(7, 13)
+	if id&HartIDValid == 0 {
+		t.Error("valid flag missing")
+	}
+	if HomeHart(id) != 7 || LinkHart(id) != 13 {
+		t.Errorf("fields: home %d link %d", HomeHart(id), LinkHart(id))
+	}
+	if PSet(0xFFFFFFFF, 3) != MakeHartID(3, NoLink) {
+		t.Errorf("PSet(-1,3) = %08x", PSet(0xFFFFFFFF, 3))
+	}
+	merged := PMerge(MakeHartID(3, NoLink), 9)
+	if HomeHart(merged) != 3 || LinkHart(merged) != 9 {
+		t.Errorf("PMerge: home %d link %d", HomeHart(merged), LinkHart(merged))
+	}
+}
+
+func TestGlobalHartSplit(t *testing.T) {
+	f := func(core, hart uint8) bool {
+		c := int(core % 64)
+		h := int(hart % HartsPerCore)
+		gc, gh := SplitHart(GlobalHart(c, h))
+		return gc == c && gh == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every encodable instruction round-trips through Decode.
+func TestQuickRoundTripRType(t *testing.T) {
+	rops := []Op{OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA,
+		OpOR, OpAND, OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU,
+		OpREM, OpREMU, OpPMERGE}
+	f := func(opIdx, rd, rs1, rs2 uint8) bool {
+		in := Inst{
+			Op: rops[int(opIdx)%len(rops)],
+			Rd: rd % 32, Rs1: rs1 % 32, Rs2: rs2 % 32,
+		}
+		raw, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got := Decode(raw)
+		return got.Op == in.Op && got.Rd == in.Rd && got.Rs1 == in.Rs1 && got.Rs2 == in.Rs2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripIType(t *testing.T) {
+	iops := []Op{OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpLW, OpLB,
+		OpLH, OpLBU, OpLHU, OpJALR}
+	f := func(opIdx, rd, rs1 uint8, imm int16) bool {
+		in := Inst{
+			Op: iops[int(opIdx)%len(iops)],
+			Rd: rd % 32, Rs1: rs1 % 32,
+			Imm: int32(imm) % 2048,
+		}
+		raw, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got := Decode(raw)
+		return got.Op == in.Op && got.Rd == in.Rd && got.Rs1 == in.Rs1 && got.Imm == in.Imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripBranch(t *testing.T) {
+	bops := []Op{OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU}
+	f := func(opIdx, rs1, rs2 uint8, imm int16) bool {
+		off := (int32(imm) % 2048) * 2
+		in := Inst{Op: bops[int(opIdx)%len(bops)], Rs1: rs1 % 32, Rs2: rs2 % 32, Imm: off}
+		raw, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got := Decode(raw)
+		return got.Op == in.Op && got.Rs1 == in.Rs1 && got.Rs2 == in.Rs2 && got.Imm == in.Imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		pc   uint32
+		want string
+	}{
+		{Inst{Op: OpADDI, Rd: 2, Rs1: 2, Imm: -8}, 0, "addi sp, sp, -8"},
+		{Inst{Op: OpJAL, Rd: 1, Imm: 0x100}, 0x400, "jal ra, 0x500"},
+		{Inst{Op: OpPFC, Rd: 31}, 0, "p_fc t6"},
+		{Inst{Op: OpPSWCV, Rs1: 31, Rs2: 1, Imm: 0}, 0, "p_swcv t6, ra, 0"},
+		{Inst{Op: OpPJALR, Rd: 0, Rs1: 1, Rs2: 5}, 0, "p_ret (ra, t0)"},
+		{Inst{Op: OpPJALR, Rd: 1, Rs1: 5, Rs2: 10}, 0, "p_jalr ra, t0, a0"},
+		{Inst{Op: OpPSYNCM}, 0, "p_syncm"},
+		{Inst{Op: OpLW, Rd: 1, Rs1: 2, Imm: 4}, 0, "lw ra, 4(sp)"},
+		{Inst{Op: OpSW, Rs1: 2, Rs2: 1, Imm: 0}, 0, "sw ra, 0(sp)"},
+		{Inst{Op: OpBEQ, Rs1: 10, Rs2: 0, Imm: 8}, 0x10, "beq a0, zero, 0x18"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in, c.pc); got != c.want {
+			t.Errorf("Disassemble(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}

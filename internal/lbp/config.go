@@ -1,0 +1,90 @@
+// Package lbp implements a cycle-level, deterministic simulator of the
+// LBP parallelizing manycore processor described in the paper
+// "Deterministic OpenMP and the LBP Parallelizing Manycore Processor".
+//
+// Each core is a five-stage pipeline — fetch, decode/rename, out-of-order
+// issue, write back, in-order commit (Figures 10-12) — shared by four
+// harts. There is no branch predictor, no cache hierarchy, no load/store
+// queue and no interrupt support. Teams of harts are created, synchronized
+// and joined entirely in hardware through the X_PAR instructions.
+//
+// The simulator is deterministic by construction: it advances in lock-step
+// cycles, every arbitration is a pure function of machine state, and no
+// goroutines, host time or randomized iteration participate in the
+// simulated machine.
+package lbp
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config parameterizes an LBP machine.
+type Config struct {
+	Cores int
+	Mem   mem.Config
+
+	// Functional-unit latencies in cycles.
+	ALULat int
+	MulLat int
+	DivLat int
+
+	// Per-hart structure sizes.
+	ITEntries  int // instruction table (reservation station) entries
+	ROBEntries int // reorder buffer entries
+	RemoteRBs  int // number of result buffers addressable by p_swre/p_lwre
+	RBDepth    int // FIFO depth of each remote result buffer; reductions
+	// buffer one value per team member until the join hart drains them,
+	// so the default accommodates the largest teams
+
+	// CVBytes reserves this many bytes at the top of each hart stack for
+	// continuation values written by p_swcv.
+	CVBytes uint32
+
+	// StrictMemOrder keeps same-hart loads behind older non-issued stores
+	// and in-flight stores to the same word, standing in for the p_syncm
+	// discipline a careful compiler would emit (documented deviation).
+	StrictMemOrder bool
+
+	// LivelockWindow aborts the run if no instruction commits and no
+	// memory event fires for this many cycles (0 = default).
+	LivelockWindow uint64
+}
+
+// DefaultConfig returns a machine with n cores and paper-inspired
+// parameters (Section 5 and DESIGN.md Section 5).
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:          n,
+		Mem:            mem.DefaultConfig(n),
+		ALULat:         1,
+		MulLat:         3,
+		DivLat:         17,
+		ITEntries:      8,
+		ROBEntries:     16,
+		RemoteRBs:      4,
+		RBDepth:        1024,
+		CVBytes:        64,
+		StrictMemOrder: true,
+		LivelockWindow: 100000,
+	}
+}
+
+// HartsPerCore is fixed at 4 per the paper.
+const HartsPerCore = isa.HartsPerCore
+
+// StackBytes returns the stack region size of one hart.
+func (c *Config) StackBytes() uint32 {
+	return c.Mem.LocalBytes / HartsPerCore
+}
+
+// StackBase returns the lowest local address of hart h's stack region.
+func (c *Config) StackBase(h int) uint32 {
+	return mem.LocalBase + uint32(h)*c.StackBytes()
+}
+
+// SPInit returns the initial stack pointer of hart h: the top of its
+// stack region minus the continuation-value area.
+func (c *Config) SPInit(h int) uint32 {
+	return c.StackBase(h) + c.StackBytes() - c.CVBytes
+}

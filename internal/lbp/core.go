@@ -1,0 +1,392 @@
+package lbp
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// core is one LBP core: a five-stage pipeline shared by four harts.
+// Each stage handles at most one instruction per cycle, selecting among
+// the harts with a rotating priority (deterministic round robin).
+type core struct {
+	m     *Machine
+	idx   int
+	harts [HartsPerCore]*hart
+
+	fetchRR, renameRR, issueRR, wbRR, commitRR int
+}
+
+// step advances the core by one cycle. Stages run in reverse pipeline
+// order so that a stage's output is consumed by the next stage one cycle
+// later at the earliest.
+func (c *core) step(now uint64) {
+	c.commit(now)
+	c.writeback(now)
+	c.issue(now)
+	c.rename(now)
+	c.fetch(now)
+}
+
+// pick scans the harts with rotating priority and returns the first one
+// satisfying ok, updating the rotation pointer.
+func (c *core) pick(rr *int, ok func(h *hart) bool) *hart {
+	for i := 1; i <= HartsPerCore; i++ {
+		h := c.harts[(*rr+i)%HartsPerCore]
+		if ok(h) {
+			*rr = h.idx
+			return h
+		}
+	}
+	return nil
+}
+
+// ---- fetch stage ----------------------------------------------------
+
+// fetch selects a hart whose pc is known and fetches one instruction into
+// the decode buffer. A hart is suspended after every fetch until the next
+// pc is produced (at rename for sequential flow and direct jumps, at
+// execution for branches and indirect jumps) — the paper hides this
+// latency with multithreading instead of prediction.
+func (c *core) fetch(now uint64) {
+	h := c.pick(&c.fetchRR, func(h *hart) bool {
+		if h.state != hartRunning || !h.pcValid || h.pcReadyCycle > now || h.ib != nil {
+			return false
+		}
+		if h.syncmWait && h.inflightMem > 0 {
+			return false
+		}
+		return true
+	})
+	if h == nil {
+		return
+	}
+	h.syncmWait = false
+	in, ok := c.m.decodedAt(h.pc)
+	if !ok {
+		c.m.faultf(c.idx, h.idx, "instruction fetch from unmapped pc %#x", h.pc)
+		return
+	}
+	if in.Op == isa.OpInvalid {
+		c.m.faultf(c.idx, h.idx, "invalid instruction %#08x at pc %#x", in.Raw, h.pc)
+		return
+	}
+	u := h.newUop()
+	u.inst = in
+	u.pc = h.pc
+	h.ib = u
+	h.pcValid = false
+	c.m.stats.Fetched++
+	c.m.event(trace.KindFetch, c.idx, h.idx, uint64(u.pc))
+}
+
+// ---- decode/rename stage ---------------------------------------------
+
+// rename moves the decode-buffer instruction into the instruction table
+// and reorder buffer, records its source dependencies and produces the
+// next pc when it is knowable at decode.
+func (c *core) rename(now uint64) {
+	h := c.pick(&c.renameRR, func(h *hart) bool {
+		return h.ib != nil && !h.itFull(&c.m.cfg) && !h.robFull(&c.m.cfg)
+	})
+	if h == nil {
+		return
+	}
+	u := h.ib
+	h.ib = nil
+	in := &u.inst
+
+	if in.ReadsRs1() && in.Rs1 != 0 {
+		if lw := h.lastWriter[in.Rs1]; lw != nil {
+			u.dep1 = lw
+		} else {
+			u.src1 = h.regs[in.Rs1]
+		}
+	}
+	if in.ReadsRs2() && in.Rs2 != 0 {
+		if lw := h.lastWriter[in.Rs2]; lw != nil {
+			u.dep2 = lw
+		} else {
+			u.src2 = h.regs[in.Rs2]
+		}
+	}
+	u.seq = h.seq
+	h.seq++
+	class := isa.ClassOf(in.Op)
+	u.isRet = in.IsPRet()
+	u.needsRB = in.WritesRd() || class == isa.ClassLoad ||
+		(class == isa.ClassJump && !u.isRet)
+	if in.WritesRd() {
+		h.lastWriter[in.Rd] = u
+	}
+	h.it = append(h.it, u)
+	h.rob = append(h.rob, u)
+
+	// Next-pc production (Figure 10: nextPC leaves the decode stage).
+	switch {
+	case in.Op == isa.OpJAL || in.Op == isa.OpPJAL:
+		h.pc = u.pc + uint32(in.Imm)
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+	case in.Op == isa.OpJALR || in.Op == isa.OpPJALR || class == isa.ClassBranch:
+		// resolved at execution; fetch stays suspended
+	case in.Op == isa.OpPSYNCM:
+		h.pc = u.pc + 4
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+		h.syncmWait = true
+	case in.Op == isa.OpECALL || in.Op == isa.OpEBREAK:
+		// execution terminates at commit; fetch stops here
+	default:
+		h.pc = u.pc + 4
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+	}
+}
+
+// ---- issue stage -----------------------------------------------------
+
+// issue selects one ready instruction (oldest first within the selected
+// hart) and begins its execution.
+func (c *core) issue(now uint64) {
+	var ih *hart
+	var iu *uop
+	for i := 1; i <= HartsPerCore; i++ {
+		h := c.harts[(c.issueRR+i)%HartsPerCore]
+		if u := c.issuable(h); u != nil {
+			ih, iu = h, u
+			break
+		}
+	}
+	if ih == nil {
+		return
+	}
+	c.issueRR = ih.idx
+	c.execute(ih, iu, now)
+}
+
+// issuable returns the oldest instruction of h that can issue this cycle.
+func (c *core) issuable(h *hart) *uop {
+	for _, u := range h.it {
+		if !u.ready() {
+			continue
+		}
+		if c.canIssue(h, u) {
+			return u
+		}
+	}
+	return nil
+}
+
+func (c *core) canIssue(h *hart, u *uop) bool {
+	if u.needsRB && h.exec != nil {
+		return false
+	}
+	in := &u.inst
+	class := isa.ClassOf(in.Op)
+	if c.m.cfg.StrictMemOrder && (class == isa.ClassLoad || class == isa.ClassStore) {
+		// Memory operations leave the instruction table in program order
+		// (standing in for compiler-inserted p_syncm; see DESIGN.md).
+		for _, older := range h.it {
+			if older.seq >= u.seq {
+				break
+			}
+			oc := isa.ClassOf(older.inst.Op)
+			if oc == isa.ClassLoad || oc == isa.ClassStore {
+				return false
+			}
+		}
+	}
+	switch in.Op {
+	case isa.OpPLWRE:
+		idx := int(in.Imm)
+		return idx >= 0 && idx < len(h.remote) && len(h.remote[idx].vals) > 0
+	case isa.OpPFC:
+		return c.freeHart() != nil
+	case isa.OpPFN:
+		// A p_fn past the last core is a machine fault, raised at execute.
+		if c.idx+1 >= len(c.m.cores) {
+			return true
+		}
+		return c.m.cores[c.idx+1].freeHart() != nil
+	}
+	return true
+}
+
+// execute performs the semantics of an issued instruction.
+func (c *core) execute(h *hart, u *uop, now uint64) {
+	u.issued = true
+	h.removeFromIT(u)
+	in := &u.inst
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		u.value = aluCompute(in, u.src1, u.src2, u.pc)
+		c.startExec(h, u, now+c.m.latencyOf(in.Op))
+	case isa.ClassBranch:
+		target := u.pc + 4
+		if branchTaken(in.Op, u.src1, u.src2) {
+			target = u.pc + uint32(in.Imm)
+		}
+		h.pc = target
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+		u.done = true
+	case isa.ClassJump:
+		c.execJump(h, u, now)
+	case isa.ClassLoad:
+		c.execLoad(h, u, now)
+	case isa.ClassStore:
+		switch in.Op {
+		case isa.OpPSWCV:
+			c.execSwcv(h, u, now)
+		case isa.OpPSWRE:
+			c.execSwre(h, u, now)
+		default:
+			c.execStore(h, u, now)
+		}
+	case isa.ClassSystem:
+		u.done = true
+	case isa.ClassXPar:
+		c.execXPar(h, u, now)
+	}
+}
+
+func (c *core) startExec(h *hart, u *uop, readyAt uint64) {
+	h.exec = u
+	h.execReadyAt = readyAt
+}
+
+func (c *core) execJump(h *hart, u *uop, now uint64) {
+	in := &u.inst
+	cont := u.pc + 4
+	switch in.Op {
+	case isa.OpJAL:
+		// target pc was produced at rename
+		u.value = cont
+		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
+	case isa.OpJALR:
+		u.value = cont
+		h.pc = (u.src1 + uint32(in.Imm)) &^ 1
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
+	case isa.OpPJAL:
+		// local target pc was produced at rename; start the continuation
+		// on the designated hart.
+		u.value = 0 // "clear rd"
+		c.sendStart(h, resolveLink(u.src1), cont, now)
+		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
+	case isa.OpPJALR:
+		if u.isRet {
+			u.retRA = u.src1
+			u.retT0 = u.src2
+			u.done = true // ending actions run at commit, in order
+			return
+		}
+		u.value = 0
+		h.pc = u.src2 &^ 1
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+		c.sendStart(h, resolveLink(u.src1), cont, now)
+		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
+	}
+}
+
+func (c *core) execLoad(h *hart, u *uop, now uint64) {
+	in := &u.inst
+	addr := u.src1 + uint32(in.Imm)
+	w, signed := memWidth(in.Op)
+	if addr%uint32(w) != 0 {
+		c.m.faultf(c.idx, h.idx, "misaligned load of width %d at %#x (pc %#x)", w, addr, u.pc)
+		return
+	}
+	u.memWait = true
+	c.startExec(h, u, ^uint64(0))
+	h.inflightMem++
+	ok := c.m.Mem.SubmitLoad(now, c.idx, addr, mem.Width(w), signed,
+		func(v uint32, done uint64) {
+			u.value = v
+			u.memWait = false
+			h.execReadyAt = done
+			h.inflightMem--
+		})
+	if !ok {
+		c.m.faultf(c.idx, h.idx, "load from unmapped address %#x (pc %#x)", addr, u.pc)
+	}
+}
+
+func (c *core) execStore(h *hart, u *uop, now uint64) {
+	in := &u.inst
+	addr := u.src1 + uint32(in.Imm)
+	w, _ := memWidth(in.Op)
+	if addr%uint32(w) != 0 {
+		c.m.faultf(c.idx, h.idx, "misaligned store of width %d at %#x (pc %#x)", w, addr, u.pc)
+		return
+	}
+	h.inflightMem++
+	ok := c.m.Mem.SubmitStore(now, c.idx, addr, u.src2, mem.Width(w),
+		func(done uint64) { h.inflightMem-- })
+	if !ok {
+		c.m.faultf(c.idx, h.idx, "store to unmapped address %#x (pc %#x)", addr, u.pc)
+		return
+	}
+	u.done = true
+}
+
+// ---- write back stage -------------------------------------------------
+
+// writeback retires one completed execution per cycle: the result buffer
+// value is written to the register file and dependents are woken.
+func (c *core) writeback(now uint64) {
+	h := c.pick(&c.wbRR, func(h *hart) bool {
+		return h.exec != nil && !h.exec.memWait && h.execReadyAt <= now
+	})
+	if h == nil {
+		return
+	}
+	u := h.exec
+	h.exec = nil
+	if u.inst.WritesRd() {
+		rd := u.inst.Rd
+		if h.lastWriter[rd] == u {
+			h.lastWriter[rd] = nil
+			h.regs[rd] = u.value
+		}
+		h.wake(u, u.value)
+	}
+	u.done = true
+}
+
+// ---- commit stage ------------------------------------------------------
+
+// commit retires one instruction per cycle in per-hart program order.
+// p_ret commits only once the ending-hart signal from the predecessor has
+// been received and the hart's memory accesses have drained — this is the
+// hardware barrier between a parallel section and its sequel.
+func (c *core) commit(now uint64) {
+	h := c.pick(&c.commitRR, func(h *hart) bool {
+		if len(h.rob) == 0 || !h.rob[0].done {
+			return false
+		}
+		u := h.rob[0]
+		if u.isRet {
+			return (!h.hasPred || h.predSignal) && h.inflightMem == 0 && h.exec == nil
+		}
+		return true
+	})
+	if h == nil {
+		return
+	}
+	u := h.rob[0]
+	h.rob = h.rob[1:]
+	h.retired++
+	c.m.progress = now
+	c.m.event(trace.KindCommit, c.idx, h.idx, uint64(u.pc))
+	switch {
+	case u.isRet:
+		c.m.doRet(h, u, now)
+	case u.inst.Op == isa.OpECALL || u.inst.Op == isa.OpEBREAK:
+		c.m.halt(u.inst.Op.String())
+	}
+	h.freeUop(u)
+}

@@ -1,0 +1,72 @@
+package lbp
+
+import "repro/internal/trace"
+
+// I/O devices for the non-interruptible I/O pattern of Section 6
+// (Figures 16-17). LBP takes no interrupts: input controllers poll
+// memory-mapped ports and the out-of-order engine synchronizes the
+// consumers through p_swre/p_lwre or plain loads; here the devices are
+// modeled as memory-mapped ports driven by a cycle schedule.
+
+// SensorEvent is one scheduled input arrival.
+type SensorEvent struct {
+	Cycle uint64
+	Value uint32
+}
+
+// Sensor writes its value to ValueAddr and then bumps the sequence word
+// at FlagAddr at each scheduled cycle. A polling hart observes the flag
+// change and reads the value — the paper's "active wait of each input
+// machine instruction on the input controller".
+type Sensor struct {
+	Name      string
+	ValueAddr uint32
+	FlagAddr  uint32
+	Events    []SensorEvent
+
+	next int
+	seq  uint32
+}
+
+// Step implements Device.
+func (s *Sensor) Step(m *Machine, now uint64) {
+	for s.next < len(s.Events) && s.Events[s.next].Cycle <= now {
+		ev := s.Events[s.next]
+		s.next++
+		s.seq++
+		m.Mem.PokeShared(s.ValueAddr, ev.Value)
+		m.Mem.PokeShared(s.FlagAddr, s.seq)
+		m.event(trace.KindIO, -1, s.next, uint64(ev.Value))
+	}
+}
+
+// ActuatorWrite is one observed output.
+type ActuatorWrite struct {
+	Cycle uint64
+	Value uint32
+}
+
+// Actuator watches a (value, sequence) pair of words: whenever the
+// sequence word changes, the value word is recorded with the cycle of
+// observation. The driving program writes the value first and the
+// sequence second; the LBP memory orders the two stores (same bank).
+type Actuator struct {
+	Name      string
+	ValueAddr uint32
+	SeqAddr   uint32
+
+	lastSeq uint32
+	Writes  []ActuatorWrite
+}
+
+// Step implements Device.
+func (a *Actuator) Step(m *Machine, now uint64) {
+	seq, ok := m.Mem.PeekShared(a.SeqAddr)
+	if !ok || seq == a.lastSeq {
+		return
+	}
+	a.lastSeq = seq
+	v, _ := m.Mem.PeekShared(a.ValueAddr)
+	a.Writes = append(a.Writes, ActuatorWrite{Cycle: now, Value: v})
+	m.event(trace.KindIO, -2, 0, uint64(v))
+}

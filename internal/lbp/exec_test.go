@@ -1,0 +1,158 @@
+package lbp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestALUComputeTable(t *testing.T) {
+	cases := []struct {
+		op       isa.Op
+		s1, s2   uint32
+		imm      int32
+		pc, want uint32
+	}{
+		{isa.OpLUI, 0, 0, 0x12345000, 0, 0x12345000},
+		{isa.OpAUIPC, 0, 0, 0x1000, 0x400, 0x1400},
+		{isa.OpADDI, 5, 0, -3, 0, 2},
+		{isa.OpADDI, 0xFFFFFFFF, 0, 1, 0, 0},
+		{isa.OpSLTI, 0xFFFFFFFF, 0, 0, 0, 1},  // -1 < 0
+		{isa.OpSLTIU, 0xFFFFFFFF, 0, 0, 0, 0}, // max uint not < 0
+		{isa.OpXORI, 0b1100, 0, 0b1010, 0, 0b0110},
+		{isa.OpORI, 0b1100, 0, 0b1010, 0, 0b1110},
+		{isa.OpANDI, 0b1100, 0, 0b1010, 0, 0b1000},
+		{isa.OpSLLI, 1, 0, 31, 0, 0x80000000},
+		{isa.OpSRLI, 0x80000000, 0, 31, 0, 1},
+		{isa.OpSRAI, 0x80000000, 0, 31, 0, 0xFFFFFFFF},
+		{isa.OpADD, 7, 8, 0, 0, 15},
+		{isa.OpSUB, 7, 8, 0, 0, 0xFFFFFFFF},
+		{isa.OpSLL, 1, 35, 0, 0, 8}, // shift amount mod 32
+		{isa.OpSLT, 0x80000000, 1, 0, 0, 1},
+		{isa.OpSLTU, 0x80000000, 1, 0, 0, 0},
+		{isa.OpXOR, 0xFF00, 0x0FF0, 0, 0, 0xF0F0},
+		{isa.OpSRL, 0xF0, 4, 0, 0, 0xF},
+		{isa.OpSRA, 0xFFFFFF00, 4, 0, 0, 0xFFFFFFF0},
+		{isa.OpOR, 0xF0, 0x0F, 0, 0, 0xFF},
+		{isa.OpAND, 0xF0, 0xFF, 0, 0, 0xF0},
+		{isa.OpMUL, 1000, 1000, 0, 0, 1000000},
+		{isa.OpMUL, 0xFFFFFFFF, 2, 0, 0, 0xFFFFFFFE}, // -1*2
+		{isa.OpMULH, 0x80000000, 0x80000000, 0, 0, 0x40000000},
+		{isa.OpMULHU, 0xFFFFFFFF, 0xFFFFFFFF, 0, 0, 0xFFFFFFFE},
+		{isa.OpMULHSU, 0xFFFFFFFF, 0xFFFFFFFF, 0, 0, 0xFFFFFFFF},
+		{isa.OpDIV, 100, 7, 0, 0, 14},
+		{isa.OpDIV, 0xFFFFFF9C, 7, 0, 0, 0xFFFFFFF2}, // -100/7 = -14
+		{isa.OpDIV, 5, 0, 0, 0, 0xFFFFFFFF},          // div by zero
+		{isa.OpDIV, 0x80000000, 0xFFFFFFFF, 0, 0, 0x80000000},
+		{isa.OpDIVU, 0xFFFFFFFF, 2, 0, 0, 0x7FFFFFFF},
+		{isa.OpDIVU, 5, 0, 0, 0, 0xFFFFFFFF},
+		{isa.OpREM, 100, 7, 0, 0, 2},
+		{isa.OpREM, 0xFFFFFF9C, 7, 0, 0, 0xFFFFFFFE}, // -100%7 = -2
+		{isa.OpREM, 5, 0, 0, 0, 5},
+		{isa.OpREM, 0x80000000, 0xFFFFFFFF, 0, 0, 0},
+		{isa.OpREMU, 7, 0, 0, 0, 7},
+		{isa.OpREMU, 0xFFFFFFFF, 10, 0, 0, 5},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op, Imm: c.imm}
+		if got := aluCompute(&in, c.s1, c.s2, c.pc); got != c.want {
+			t.Errorf("%v(%#x, %#x, imm=%d) = %#x, want %#x",
+				c.op, c.s1, c.s2, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestBranchTakenTable(t *testing.T) {
+	cases := []struct {
+		op     isa.Op
+		s1, s2 uint32
+		want   bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBNE, 5, 5, false},
+		{isa.OpBLT, 0xFFFFFFFF, 0, true}, // -1 < 0
+		{isa.OpBLT, 0, 0xFFFFFFFF, false},
+		{isa.OpBGE, 0, 0xFFFFFFFF, true},
+		{isa.OpBGE, 5, 5, true},
+		{isa.OpBLTU, 0, 0xFFFFFFFF, true},
+		{isa.OpBLTU, 0xFFFFFFFF, 0, false},
+		{isa.OpBGEU, 0xFFFFFFFF, 0, true},
+		{isa.OpBGEU, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := branchTaken(c.op, c.s1, c.s2); got != c.want {
+			t.Errorf("branchTaken(%v, %#x, %#x) = %v", c.op, c.s1, c.s2, got)
+		}
+	}
+}
+
+// Property: DIV/REM respect the RISC-V identity dividend = q*d + r for
+// every non-overflow case.
+func TestQuickDivRemIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == -1<<31 && b == -1) {
+			return true
+		}
+		dIn := isa.Inst{Op: isa.OpDIV}
+		rIn := isa.Inst{Op: isa.OpREM}
+		q := int32(aluCompute(&dIn, uint32(a), uint32(b), 0))
+		r := int32(aluCompute(&rIn, uint32(a), uint32(b), 0))
+		return q*b+r == a && (r == 0 || (r < 0) == (a < 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MULH:MUL forms the full 64-bit signed product.
+func TestQuickMulhMulIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		lo := isa.Inst{Op: isa.OpMUL}
+		hi := isa.Inst{Op: isa.OpMULH}
+		l := aluCompute(&lo, uint32(a), uint32(b), 0)
+		h := aluCompute(&hi, uint32(a), uint32(b), 0)
+		full := int64(a) * int64(b)
+		return uint64(full) == uint64(h)<<32|uint64(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyOf(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if m.latencyOf(isa.OpADD) != 1 {
+		t.Errorf("ALU latency = %d", m.latencyOf(isa.OpADD))
+	}
+	if m.latencyOf(isa.OpMUL) != 3 {
+		t.Errorf("MUL latency = %d", m.latencyOf(isa.OpMUL))
+	}
+	if m.latencyOf(isa.OpDIV) != 17 {
+		t.Errorf("DIV latency = %d", m.latencyOf(isa.OpDIV))
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	cases := map[isa.Op]struct {
+		w      memWidthT
+		signed bool
+	}{
+		isa.OpLB:  {widthByte, true},
+		isa.OpLBU: {widthByte, false},
+		isa.OpLH:  {widthHalf, true},
+		isa.OpLHU: {widthHalf, false},
+		isa.OpLW:  {widthWord, false},
+		isa.OpSB:  {widthByte, false},
+		isa.OpSH:  {widthHalf, false},
+		isa.OpSW:  {widthWord, false},
+	}
+	for op, want := range cases {
+		w, s := memWidth(op)
+		if w != want.w || s != want.signed {
+			t.Errorf("memWidth(%v) = %d,%v", op, w, s)
+		}
+	}
+}

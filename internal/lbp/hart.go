@@ -1,0 +1,201 @@
+package lbp
+
+import (
+	"repro/internal/isa"
+)
+
+// hartState is the lifecycle state of a hardware thread.
+type hartState uint8
+
+const (
+	hartFree      hartState = iota // available for p_fc/p_fn allocation
+	hartAllocated                  // reserved by a fork, waiting for its start pc
+	hartRunning                    // fetching/executing
+	hartWaitJoin                   // ended with "keep waiting", awaits a join address
+)
+
+// uop is an in-flight instruction. uops live in the per-hart instruction
+// table from rename to issue and in the reorder buffer until commit.
+type uop struct {
+	inst isa.Inst
+	pc   uint32
+	seq  uint64 // per-hart rename sequence number
+
+	// Source operands: value captured at rename if the producer already
+	// wrote back, otherwise dep points at the producing uop and the value
+	// is captured at that uop's write back.
+	src1, src2 uint32
+	dep1, dep2 *uop
+
+	issued bool
+	done   bool // retired from the execution stage (commit-eligible)
+
+	value   uint32 // register result (written back through the rb)
+	needsRB bool
+	memWait bool // load in flight; rb release gated on the response
+
+	// p_ret bookkeeping: operand values captured at issue.
+	isRet        bool
+	retRA, retT0 uint32
+}
+
+func (u *uop) ready() bool { return u.dep1 == nil && u.dep2 == nil }
+
+// remoteRB is one of the hart's addressable result buffers fed by p_swre
+// messages from later harts; implemented as a bounded FIFO.
+type remoteRB struct {
+	vals []uint32
+}
+
+// hart is one hardware thread of a core.
+type hart struct {
+	core *core
+	idx  int    // hart index within the core
+	gid  uint32 // global hart number (4*core+idx)
+
+	state        hartState
+	pc           uint32
+	pcValid      bool   // next pc known
+	pcReadyCycle uint64 // earliest fetch cycle for the current pc
+	syncmWait    bool   // p_syncm decoded: fetch blocked until memory drains
+
+	regs       [32]uint32
+	lastWriter [32]*uop // most recently renamed writer still in flight
+
+	ib      *uop   // fetched, not yet renamed (the decode-stage buffer)
+	it      []*uop // instruction table, in rename order
+	rob     []*uop // reorder buffer, in rename order
+	seq     uint64 // rename counter
+	renamed uint64 // statistics
+
+	// Execution/result buffer: at most one value-producing instruction is
+	// in flight per hart (the paper's 1-deep result buffer).
+	exec        *uop
+	execReadyAt uint64
+
+	inflightMem int  // outstanding memory accesses (loads+stores+CV writes)
+	hasPred     bool // must receive an ending-hart signal before p_ret commits
+	predSignal  bool // signal received
+	remote      []remoteRB
+	retired     uint64
+	startedBy   uint32 // global hart that forked us (diagnostics)
+	endingEpoch uint64 // cycle of last lifecycle change (diagnostics)
+
+	pool []*uop // recycled uops (bounded by ROB size)
+}
+
+// newUop takes a zeroed uop from the pool (or allocates one).
+func (h *hart) newUop() *uop {
+	if n := len(h.pool); n > 0 {
+		u := h.pool[n-1]
+		h.pool = h.pool[:n-1]
+		*u = uop{}
+		return u
+	}
+	return &uop{}
+}
+
+// freeUop returns a committed uop to the pool.
+func (h *hart) freeUop(u *uop) {
+	if len(h.pool) < 64 {
+		h.pool = append(h.pool, u)
+	}
+}
+
+func (h *hart) reset(cfg *Config) {
+	h.state = hartFree
+	h.pc, h.pcValid, h.pcReadyCycle = 0, false, 0
+	h.syncmWait = false
+	h.regs = [32]uint32{}
+	h.lastWriter = [32]*uop{}
+	h.ib = nil
+	h.it = h.it[:0]
+	h.rob = h.rob[:0]
+	h.exec = nil
+	h.inflightMem = 0
+	h.hasPred, h.predSignal = false, false
+	for i := range h.remote {
+		h.remote[i].vals = h.remote[i].vals[:0]
+	}
+}
+
+// allocate prepares a free hart for a fork: registers cleared, stack
+// pointer set to the canonical initial value, waiting for a start pc.
+func (h *hart) allocate(cfg *Config, by uint32, now uint64) {
+	h.reset(cfg)
+	h.state = hartAllocated
+	h.regs[2] = cfg.SPInit(h.idx)
+	h.hasPred = true
+	h.startedBy = by
+	h.endingEpoch = now
+}
+
+// start begins fetching at pc (delivered by a p_jalr/p_jal start message).
+func (h *hart) start(pc uint32, now uint64) {
+	h.state = hartRunning
+	h.pc = pc
+	h.pcValid = true
+	h.pcReadyCycle = now
+	h.endingEpoch = now
+}
+
+// free releases the hart for reallocation.
+func (h *hart) free(now uint64) {
+	h.state = hartFree
+	h.pcValid = false
+	h.ib = nil
+	h.endingEpoch = now
+}
+
+// robFull reports whether the reorder buffer is at capacity.
+func (h *hart) robFull(cfg *Config) bool { return len(h.rob) >= cfg.ROBEntries }
+
+// itFull reports whether the instruction table is at capacity.
+func (h *hart) itFull(cfg *Config) bool { return len(h.it) >= cfg.ITEntries }
+
+// wake captures a written-back value in every dependent instruction.
+func (h *hart) wake(producer *uop, value uint32) {
+	for _, u := range h.it {
+		if u.dep1 == producer {
+			u.src1 = value
+			u.dep1 = nil
+		}
+		if u.dep2 == producer {
+			u.src2 = value
+			u.dep2 = nil
+		}
+	}
+}
+
+// removeFromIT deletes an issued uop from the instruction table.
+func (h *hart) removeFromIT(u *uop) {
+	for i, v := range h.it {
+		if v == u {
+			h.it = append(h.it[:i], h.it[i+1:]...)
+			return
+		}
+	}
+}
+
+// pushRemote appends a p_swre value to result buffer idx; reports overflow.
+func (h *hart) pushRemote(idx int, v uint32, depth int) bool {
+	if idx < 0 || idx >= len(h.remote) {
+		return false
+	}
+	rb := &h.remote[idx]
+	if len(rb.vals) >= depth {
+		return false
+	}
+	rb.vals = append(rb.vals, v)
+	return true
+}
+
+// popRemote removes and returns the head of result buffer idx.
+func (h *hart) popRemote(idx int) (uint32, bool) {
+	if idx < 0 || idx >= len(h.remote) || len(h.remote[idx].vals) == 0 {
+		return 0, false
+	}
+	v := h.remote[idx].vals[0]
+	h.remote[idx].vals = h.remote[idx].vals[1:]
+	return v, true
+}

@@ -1,0 +1,137 @@
+package lbp
+
+import "testing"
+
+// Unit tests of the hart-internal structures.
+
+func newTestHart() (*Machine, *hart) {
+	m := New(DefaultConfig(1))
+	return m, m.harts[1]
+}
+
+func TestRemoteRBFIFO(t *testing.T) {
+	_, h := newTestHart()
+	for i := uint32(0); i < 5; i++ {
+		if !h.pushRemote(0, 100+i, 8) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := uint32(0); i < 5; i++ {
+		v, ok := h.popRemote(0)
+		if !ok || v != 100+i {
+			t.Errorf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := h.popRemote(0); ok {
+		t.Error("empty buffer must not pop")
+	}
+}
+
+func TestRemoteRBBounds(t *testing.T) {
+	_, h := newTestHart()
+	if h.pushRemote(-1, 1, 8) || h.pushRemote(99, 1, 8) {
+		t.Error("out-of-range buffer index must fail")
+	}
+	for i := 0; i < 3; i++ {
+		h.pushRemote(1, uint32(i), 3)
+	}
+	if h.pushRemote(1, 9, 3) {
+		t.Error("overflow past depth must fail")
+	}
+	if _, ok := h.popRemote(7); ok {
+		_, h2 := newTestHart()
+		_ = h2
+		t.Error("pop from empty high index")
+	}
+}
+
+func TestFreeHartAfterOrder(t *testing.T) {
+	m := New(DefaultConfig(1))
+	c := m.cores[0]
+	// all free: after hart 1 -> hart 2
+	if got := c.freeHartAfter(1); got.idx != 2 {
+		t.Errorf("after 1 -> %d, want 2", got.idx)
+	}
+	// occupy 2 and 3: wraps to 0
+	c.harts[2].state = hartRunning
+	c.harts[3].state = hartRunning
+	if got := c.freeHartAfter(1); got.idx != 0 {
+		t.Errorf("after 1 with 2,3 busy -> %d, want 0", got.idx)
+	}
+	// everything busy: nil
+	c.harts[0].state = hartRunning
+	c.harts[1].state = hartRunning
+	if got := c.freeHartAfter(1); got != nil {
+		t.Errorf("all busy -> %v", got.idx)
+	}
+}
+
+func TestHartLifecycle(t *testing.T) {
+	m, h := newTestHart()
+	h.allocate(&m.cfg, 0, 10)
+	if h.state != hartAllocated {
+		t.Error("allocate must reserve the hart")
+	}
+	if h.regs[2] != m.cfg.SPInit(1) {
+		t.Errorf("sp = %#x, want %#x", h.regs[2], m.cfg.SPInit(1))
+	}
+	if !h.hasPred {
+		t.Error("forked harts wait for the predecessor signal")
+	}
+	h.start(0x40, 20)
+	if h.state != hartRunning || h.pc != 0x40 || !h.pcValid {
+		t.Errorf("start: %+v", h.state)
+	}
+	h.free(30)
+	if h.state != hartFree || h.pcValid {
+		t.Error("free must release the hart")
+	}
+}
+
+func TestUopPoolReuse(t *testing.T) {
+	_, h := newTestHart()
+	u1 := h.newUop()
+	u1.seq = 42
+	u1.done = true
+	h.freeUop(u1)
+	u2 := h.newUop()
+	if u2 != u1 {
+		t.Error("pool must recycle")
+	}
+	if u2.seq != 0 || u2.done {
+		t.Error("recycled uop must be zeroed")
+	}
+}
+
+func TestWakeCapturesValues(t *testing.T) {
+	_, h := newTestHart()
+	producer := h.newUop()
+	consumer := h.newUop()
+	consumer.dep1 = producer
+	consumer.dep2 = producer
+	h.it = append(h.it, consumer)
+	h.wake(producer, 777)
+	if consumer.dep1 != nil || consumer.dep2 != nil {
+		t.Error("deps must clear on wake")
+	}
+	if consumer.src1 != 777 || consumer.src2 != 777 {
+		t.Errorf("captured %d/%d", consumer.src1, consumer.src2)
+	}
+	if !consumer.ready() {
+		t.Error("consumer must be ready")
+	}
+}
+
+func TestRemoveFromIT(t *testing.T) {
+	_, h := newTestHart()
+	a, b, c := h.newUop(), h.newUop(), h.newUop()
+	h.it = append(h.it, a, b, c)
+	h.removeFromIT(b)
+	if len(h.it) != 2 || h.it[0] != a || h.it[1] != c {
+		t.Errorf("it: %v", h.it)
+	}
+	h.removeFromIT(b) // absent: no-op
+	if len(h.it) != 2 {
+		t.Error("double remove must be a no-op")
+	}
+}

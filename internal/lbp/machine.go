@@ -1,0 +1,280 @@
+package lbp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Machine is a whole LBP processor: cores, harts, memory and devices.
+type Machine struct {
+	cfg   Config
+	Mem   *mem.System
+	cores []*core
+	harts []*hart // flat, index = global hart number
+
+	cycle    uint64
+	running  bool
+	exited   bool
+	haltMsg  string
+	err      error
+	progress uint64 // cycle of the last commit or memory event
+
+	devices []Device
+	rec     *trace.Recorder
+
+	decoded []isa.Inst // predecoded code image, indexed by pc/4
+	stats   Stats
+}
+
+// Device models an external unit (sensor, actuator, timer) attached to
+// the machine. Step is called once per cycle before the cores.
+type Device interface {
+	Step(m *Machine, now uint64)
+}
+
+// Stats aggregates run counters.
+type Stats struct {
+	Cycles      uint64
+	Retired     uint64
+	Fetched     uint64
+	Forks       uint64
+	Starts      uint64
+	Joins       uint64
+	Signals     uint64
+	RemoteSends uint64 // p_swre messages
+	PerHart     []uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("lbp: Config.Cores must be positive")
+	}
+	if cfg.Mem.Cores != cfg.Cores {
+		cfg.Mem.Cores = cfg.Cores
+	}
+	m := &Machine{
+		cfg: cfg,
+		Mem: mem.New(cfg.Mem),
+	}
+	if cfg.LivelockWindow == 0 {
+		m.cfg.LivelockWindow = 100000
+	}
+	m.cores = make([]*core, cfg.Cores)
+	m.harts = make([]*hart, cfg.Cores*HartsPerCore)
+	for c := 0; c < cfg.Cores; c++ {
+		co := &core{m: m, idx: c}
+		for hi := 0; hi < HartsPerCore; hi++ {
+			h := &hart{
+				core:   co,
+				idx:    hi,
+				gid:    isa.GlobalHart(c, hi),
+				remote: make([]remoteRB, cfg.RemoteRBs),
+			}
+			h.reset(&m.cfg)
+			co.harts[hi] = h
+			m.harts[h.gid] = h
+		}
+		m.cores[c] = co
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetTrace attaches an event recorder (nil disables tracing).
+func (m *Machine) SetTrace(r *trace.Recorder) { m.rec = r }
+
+// Trace returns the attached recorder, if any.
+func (m *Machine) Trace() *trace.Recorder { return m.rec }
+
+// AddDevice attaches a device.
+func (m *Machine) AddDevice(d Device) { m.devices = append(m.devices, d) }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// decodedAt returns the predecoded instruction at pc, if mapped.
+func (m *Machine) decodedAt(pc uint32) (isa.Inst, bool) {
+	if pc%4 != 0 {
+		return isa.Inst{}, false
+	}
+	idx := int(pc / 4)
+	if idx >= len(m.decoded) {
+		return isa.Inst{}, false
+	}
+	return m.decoded[idx], true
+}
+
+// Hart returns the hart with the given global number.
+func (m *Machine) Hart(gid uint32) *hart {
+	if int(gid) >= len(m.harts) {
+		return nil
+	}
+	return m.harts[gid]
+}
+
+func (m *Machine) event(kind trace.Kind, core int, hartIdx int, value uint64) {
+	if m.rec != nil {
+		m.rec.Add(trace.Event{
+			Cycle: m.cycle, Core: uint16(core), Hart: uint8(hartIdx),
+			Kind: kind, Value: value,
+		})
+	}
+}
+
+// faultf records a machine fault and stops the run. Faults are
+// deterministic: the same program faults at the same cycle every run.
+func (m *Machine) faultf(core, hartIdx int, format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("lbp: cycle %d core %d hart %d: %s",
+			m.cycle, core, hartIdx, fmt.Sprintf(format, args...))
+	}
+	m.exited = true
+}
+
+// halt stops the run cleanly (p_ret exit, ebreak).
+func (m *Machine) halt(msg string) {
+	m.exited = true
+	m.haltMsg = msg
+}
+
+// LoadProgram installs an assembled program: the code image is replicated
+// in every core's code bank, the initialized data segments are written to
+// the shared space, and hart 0 of core 0 is started at the entry point
+// with register t0 = -1 (the bare-metal exit identity of Figure 6 is set
+// up by the program itself).
+func (m *Machine) LoadProgram(p *asm.Program) error {
+	if err := m.Mem.LoadCode(p.TextBase, p.Text); err != nil {
+		return err
+	}
+	// Predecode the image: fetch is on the critical path of every cycle.
+	end := p.TextBase/4 + uint32(len(p.Text))
+	if uint32(len(m.decoded)) < end {
+		m.decoded = append(m.decoded, make([]isa.Inst, int(end)-len(m.decoded))...)
+	}
+	for i, w := range p.Text {
+		m.decoded[int(p.TextBase/4)+i] = isa.Decode(w)
+	}
+	for _, seg := range p.Segments {
+		if err := m.Mem.LoadShared(seg.Addr, seg.Words); err != nil {
+			return err
+		}
+	}
+	h0 := m.harts[0]
+	h0.reset(&m.cfg)
+	h0.state = hartRunning
+	h0.pc = p.Entry
+	h0.pcValid = true
+	h0.regs[2] = m.cfg.SPInit(0)
+	return nil
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Stats Stats
+	Mem   mem.Stats
+	Halt  string
+}
+
+// Run advances the machine until the program exits or maxCycles elapse.
+func (m *Machine) Run(maxCycles uint64) (*Result, error) {
+	if m.running {
+		return nil, fmt.Errorf("lbp: machine already ran; create a new one")
+	}
+	m.running = true
+	m.progress = 0
+	for !m.exited {
+		m.cycle++
+		if m.cycle > maxCycles {
+			return nil, fmt.Errorf("lbp: exceeded %d cycles without exiting%s",
+				maxCycles, m.stuckReport())
+		}
+		if !m.Mem.Drained() {
+			m.progress = m.cycle
+		}
+		m.Mem.Step(m.cycle)
+		for _, d := range m.devices {
+			d.Step(m, m.cycle)
+		}
+		for _, c := range m.cores {
+			c.step(m.cycle)
+		}
+		if m.cycle-m.progress > m.cfg.LivelockWindow {
+			m.faultf(-1, -1, "no progress for %d cycles (deadlock?)%s",
+				m.cfg.LivelockWindow, m.stuckReport())
+		}
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() *Result {
+	st := Stats{
+		Cycles:  m.cycle,
+		Fetched: m.stats.Fetched,
+		Forks:   m.stats.Forks,
+		Starts:  m.stats.Starts,
+		Joins:   m.stats.Joins,
+		Signals: m.stats.Signals,
+
+		RemoteSends: m.stats.RemoteSends,
+		PerHart:     make([]uint64, len(m.harts)),
+	}
+	for i, h := range m.harts {
+		st.PerHart[i] = h.retired
+		st.Retired += h.retired
+	}
+	return &Result{Stats: st, Mem: m.Mem.Stats, Halt: m.haltMsg}
+}
+
+// stuckReport describes non-free harts, to diagnose deadlocks and timeouts.
+func (m *Machine) stuckReport() string {
+	out := ""
+	for _, h := range m.harts {
+		if h.state == hartFree {
+			continue
+		}
+		out += fmt.Sprintf("\n  core %d hart %d: state=%d pc=%#x pcValid=%v rob=%d it=%d inflight=%d hasPred=%v sig=%v",
+			h.core.idx, h.idx, h.state, h.pc, h.pcValid, len(h.rob), len(h.it),
+			h.inflightMem, h.hasPred, h.predSignal)
+		if len(h.rob) > 0 {
+			u := h.rob[0]
+			out += fmt.Sprintf(" head=%s done=%v", isa.Disassemble(u.inst, u.pc), u.done)
+		}
+	}
+	return out
+}
+
+// ReadShared reads a word from shared memory after (or during) a run.
+func (m *Machine) ReadShared(addr uint32) (uint32, bool) {
+	return m.Mem.PeekShared(addr)
+}
+
+// ReadSharedSlice reads n consecutive words starting at addr.
+func (m *Machine) ReadSharedSlice(addr uint32, n int) ([]uint32, bool) {
+	out := make([]uint32, n)
+	for i := range out {
+		v, ok := m.Mem.PeekShared(addr + uint32(4*i))
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}

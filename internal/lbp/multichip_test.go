@@ -1,0 +1,158 @@
+package lbp
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/trace"
+)
+
+// Teams spanning several chips (Figure 15): the fork protocol crosses
+// the chip edge on the forward neighbor link, joins return on the
+// backward line, and the run stays cycle-deterministic.
+
+const multiChipTeam = `
+main:
+	li t0, -1
+	addi sp, sp, -8
+	sw ra, 0(sp)
+	sw t0, 4(sp)
+	p_set t0, t0
+	la a0, thread
+	la a1, result
+	li a3, 32
+	jal LBP_parallel_start
+	lw ra, 0(sp)
+	lw t0, 4(sp)
+	addi sp, sp, 8
+	p_ret
+
+thread:
+	slli a5, a2, 2
+	add a5, a1, a5
+	addi a6, a2, 1000
+	sw a6, 0(a5)
+	p_ret
+
+LBP_parallel_start:
+	li a2, 0
+Lps_loop:
+	addi a5, a3, -1
+	bge a2, a5, Lps_last
+	p_set a5, zero
+	srli a5, a5, 16
+	andi a5, a5, 3
+	li a6, 3
+	blt a5, a6, Lps_fc
+	p_fn t6
+	j Lps_send
+Lps_fc:
+	p_fc t6
+Lps_send:
+	p_swcv t6, ra, 0
+	p_swcv t6, t0, 4
+	p_swcv t6, a0, 8
+	p_swcv t6, a1, 12
+	p_swcv t6, a2, 16
+	p_swcv t6, a3, 20
+	p_merge t0, t0, t6
+	p_syncm
+	p_jalr ra, t0, a0
+	p_lwcv ra, 0
+	p_lwcv t0, 4
+	p_lwcv a0, 8
+	p_lwcv a1, 12
+	p_lwcv a2, 16
+	p_lwcv a3, 20
+	addi a2, a2, 1
+	j Lps_loop
+Lps_last:
+	addi sp, sp, -8
+	sw ra, 0(sp)
+	sw t0, 4(sp)
+	p_set t0, t0
+	jalr ra, a0
+	lw ra, 0(sp)
+	lw t0, 4(sp)
+	addi sp, sp, 8
+	p_ret
+
+	.data
+result:
+	.fill 32, 0
+`
+
+func runChips(t *testing.T, perChip, chipHop int) *Result {
+	t.Helper()
+	p, err := asm.Assemble(multiChipTeam, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	cfg.Mem.CoresPerChip = perChip
+	cfg.Mem.ChipHopLat = chipHop
+	m := New(cfg)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if v, _ := m.ReadShared(0x80000000 + uint32(4*i)); v != uint32(1000+i) {
+			t.Errorf("result[%d] = %d", i, v)
+		}
+	}
+	return res
+}
+
+func TestTeamSpansChips(t *testing.T) {
+	res := runChips(t, 4, 20) // two chips of 4 cores, team of 32 harts
+	if res.Stats.Forks != 31 {
+		t.Errorf("forks = %d", res.Stats.Forks)
+	}
+	for i, r := range res.Stats.PerHart {
+		if r == 0 {
+			t.Errorf("hart %d idle", i)
+		}
+	}
+}
+
+func TestChipEdgeCostsCycles(t *testing.T) {
+	mono := runChips(t, 8, 0) // single chip
+	duo := runChips(t, 4, 20) // chip edge between cores 3 and 4
+	if duo.Stats.Cycles <= mono.Stats.Cycles {
+		t.Errorf("crossing the chip edge must cost cycles: %d vs %d",
+			duo.Stats.Cycles, mono.Stats.Cycles)
+	}
+	if duo.Stats.Retired != mono.Stats.Retired {
+		t.Errorf("chip latency must not change the instruction count: %d vs %d",
+			duo.Stats.Retired, mono.Stats.Retired)
+	}
+}
+
+func TestMultiChipDeterminism(t *testing.T) {
+	p, err := asm.Assemble(multiChipTeam, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func() uint64 {
+		cfg := DefaultConfig(8)
+		cfg.Mem.CoresPerChip = 4
+		cfg.Mem.ChipHopLat = 20
+		m := New(cfg)
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if err := m.LoadProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Digest()
+	}
+	if digest() != digest() {
+		t.Error("multi-chip runs must be cycle-deterministic")
+	}
+}

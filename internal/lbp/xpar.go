@@ -1,0 +1,288 @@
+package lbp
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// X_PAR semantics: hart allocation (p_fc/p_fn), identity manipulation
+// (p_set/p_merge), continuation-value transmission (p_swcv), inter-team
+// result transmission (p_swre/p_lwre), and the p_ret ending protocol with
+// its four ending types (Figure 6 of the paper).
+
+// resolveLink extracts the hart designated for forward-direction actions
+// (fork continuation, continuation values): the link field of an identity
+// word, or the raw hart number as returned by p_fc/p_fn.
+func resolveLink(v uint32) uint32 {
+	if v&isa.HartIDValid != 0 {
+		return isa.LinkHart(v)
+	}
+	return v
+}
+
+// resolveHome extracts the hart designated for backward-direction actions
+// (p_swre result sends): the home field of an identity word, or the raw
+// hart number.
+func resolveHome(v uint32) uint32 {
+	if v&isa.HartIDValid != 0 {
+		return isa.HomeHart(v)
+	}
+	return v
+}
+
+// freeHart returns the lowest-numbered free hart of the core, or nil.
+func (c *core) freeHart() *hart {
+	return c.freeHartAfter(-1)
+}
+
+// freeHartAfter returns the first free hart with index > after, wrapping
+// to the lowest free hart if none. Allocating "after" the forking hart
+// keeps team placement canonical (member t on hart t%4 of core t/4) even
+// when earlier members have already ended and freed their harts.
+func (c *core) freeHartAfter(after int) *hart {
+	for i := after + 1; i < HartsPerCore; i++ {
+		if c.harts[i].state == hartFree {
+			return c.harts[i]
+		}
+	}
+	for i := 0; i <= after && i < HartsPerCore; i++ {
+		if c.harts[i].state == hartFree {
+			return c.harts[i]
+		}
+	}
+	return nil
+}
+
+// execXPar runs the non-memory X_PAR instructions at issue.
+func (c *core) execXPar(h *hart, u *uop, now uint64) {
+	in := &u.inst
+	lat := now + uint64(c.m.cfg.ALULat)
+	switch in.Op {
+	case isa.OpPFC, isa.OpPFN:
+		target := c
+		if in.Op == isa.OpPFN {
+			if c.idx+1 >= len(c.m.cores) {
+				c.m.faultf(c.idx, h.idx, "p_fn past the last core (pc %#x)", u.pc)
+				return
+			}
+			target = c.m.cores[c.idx+1]
+		}
+		var fh *hart
+		if in.Op == isa.OpPFC {
+			fh = target.freeHartAfter(h.idx)
+		} else {
+			fh = target.freeHart()
+		}
+		if fh == nil {
+			// canIssue guarantees availability
+			c.m.faultf(c.idx, h.idx, "fork allocation raced (pc %#x)", u.pc)
+			return
+		}
+		fh.allocate(&c.m.cfg, h.gid, now)
+		u.value = fh.gid
+		c.m.stats.Forks++
+		c.m.event(trace.KindFork, c.idx, h.idx, uint64(fh.gid))
+		c.startExec(h, u, lat)
+	case isa.OpPSET:
+		u.value = isa.PSet(u.src1, h.gid)
+		c.startExec(h, u, lat)
+	case isa.OpPMERGE:
+		u.value = isa.PMerge(u.src1, u.src2)
+		c.startExec(h, u, lat)
+	case isa.OpPLWRE:
+		v, ok := h.popRemote(int(in.Imm))
+		if !ok {
+			c.m.faultf(c.idx, h.idx, "p_lwre from empty result buffer %d (pc %#x)", in.Imm, u.pc)
+			return
+		}
+		u.value = v
+		c.m.event(trace.KindRecv, c.idx, h.idx, uint64(v))
+		c.startExec(h, u, lat)
+	default:
+		c.m.faultf(c.idx, h.idx, "unhandled X_PAR op %v (pc %#x)", in.Op, u.pc)
+	}
+}
+
+// execSwcv stores a continuation value on the stack of the designated
+// hart (same or next core), through the forward link and the target
+// core's local bank port.
+func (c *core) execSwcv(h *hart, u *uop, now uint64) {
+	tgt := resolveLink(u.src1)
+	th := c.m.Hart(tgt)
+	if th == nil {
+		c.m.faultf(c.idx, h.idx, "p_swcv to nonexistent hart %d (pc %#x)", tgt, u.pc)
+		return
+	}
+	tc := th.core.idx
+	if tc != c.idx && tc != c.idx+1 {
+		c.m.faultf(c.idx, h.idx, "p_swcv target hart %d is not on the same or next core (pc %#x)", tgt, u.pc)
+		return
+	}
+	addr := c.m.cfg.SPInit(th.idx) + uint32(u.inst.Imm)
+	h.inflightMem++
+	ok := c.m.Mem.SubmitCVWrite(now, c.idx, tc, addr, u.src2,
+		func(done uint64) { h.inflightMem-- })
+	if !ok {
+		c.m.faultf(c.idx, h.idx, "p_swcv to unmapped stack address %#x (pc %#x)", addr, u.pc)
+		return
+	}
+	u.done = true
+}
+
+// execSwre sends a result value to a prior hart's result buffer over the
+// backward line.
+func (c *core) execSwre(h *hart, u *uop, now uint64) {
+	tgt := resolveHome(u.src1)
+	th := c.m.Hart(tgt)
+	if th == nil {
+		c.m.faultf(c.idx, h.idx, "p_swre to nonexistent hart %d (pc %#x)", tgt, u.pc)
+		return
+	}
+	tc := th.core.idx
+	if tc > c.idx {
+		c.m.faultf(c.idx, h.idx, "p_swre target hart %d is on a later core (pc %#x)", tgt, u.pc)
+		return
+	}
+	idx := int(u.inst.Imm)
+	val := u.src2
+	pc := u.pc
+	hidx := h.idx
+	err := c.m.Mem.SendBackward(now, c.idx, tc, func(done uint64) {
+		if !th.pushRemote(idx, val, c.m.cfg.RBDepth) {
+			c.m.faultf(c.idx, hidx, "p_swre overflowed result buffer %d of hart %d (pc %#x)", idx, tgt, pc)
+		}
+	})
+	if err != nil {
+		c.m.faultf(c.idx, h.idx, "p_swre: %v", err)
+		return
+	}
+	c.m.stats.RemoteSends++
+	c.m.event(trace.KindSend, c.idx, h.idx, uint64(val))
+	u.done = true
+}
+
+// sendStart delivers a start pc to an allocated hart (fork continuation).
+func (c *core) sendStart(h *hart, tgt uint32, pc uint32, now uint64) {
+	th := c.m.Hart(tgt)
+	if th == nil {
+		c.m.faultf(c.idx, h.idx, "start for nonexistent hart %d", tgt)
+		return
+	}
+	tc := th.core.idx
+	if tc != c.idx && tc != c.idx+1 {
+		c.m.faultf(c.idx, h.idx, "start target hart %d is not on the same or next core", tgt)
+		return
+	}
+	hidx := h.idx
+	err := c.m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
+		if th.state != hartAllocated {
+			c.m.faultf(c.idx, hidx, "start for hart %d in state %d (not allocated)", tgt, th.state)
+			return
+		}
+		th.start(pc, done)
+		c.m.stats.Starts++
+		c.m.event(trace.KindStart, tc, th.idx, uint64(pc))
+	})
+	if err != nil {
+		c.m.faultf(c.idx, h.idx, "start: %v", err)
+	}
+}
+
+// doRet performs the four ending types of a committed p_ret (Figure 6):
+//
+//  1. ra == 0 and t0 designates another hart: the hart ends (frees).
+//  2. ra == 0 and t0 designates this hart: wait for a join address.
+//  3. ra == 0 and t0 == -1: the whole machine exits.
+//  4. ra != 0: send ra to the t0 home hart, which resumes fetching there.
+//
+// All types forward the ending-hart signal to the link hart, realizing
+// the in-order hardware barrier between team members.
+func (m *Machine) doRet(h *hart, u *uop, now uint64) {
+	ra, t0 := u.retRA, u.retT0
+	if h.hasPred {
+		h.hasPred = false
+		h.predSignal = false
+	}
+	if ra == 0 && t0 == 0xFFFFFFFF {
+		m.halt("exit")
+		return
+	}
+	valid := t0&isa.HartIDValid != 0
+	home, link := uint32(0), uint32(isa.NoLink)
+	if valid {
+		home, link = isa.HomeHart(t0), isa.LinkHart(t0)
+	}
+	self := h.gid
+	if valid && link != isa.NoLink && link != self {
+		m.sendSignal(h, link, now)
+	}
+	switch {
+	case ra == 0 && valid && home == self:
+		// ending type 2: keep the hart, waiting for a join address
+		h.state = hartWaitJoin
+		h.pcValid = false
+	case ra == 0:
+		// ending type 1
+		h.free(now)
+	case valid && home == self:
+		// ending type 4, join to self: resume at ra on the same hart
+		h.pc = ra
+		h.pcValid = true
+		h.pcReadyCycle = now + 1
+	case valid:
+		// ending type 4: send the join address backward to the home hart
+		m.sendJoin(h, home, ra, now)
+		h.free(now)
+	default:
+		m.faultf(h.core.idx, h.idx, "p_ret with ra=%#x but invalid identity t0=%#x (pc %#x)", ra, t0, u.pc)
+	}
+}
+
+// sendSignal forwards the ending-hart signal to the successor team member.
+func (m *Machine) sendSignal(h *hart, link uint32, now uint64) {
+	th := m.Hart(link)
+	if th == nil {
+		m.faultf(h.core.idx, h.idx, "ending signal to nonexistent hart %d", link)
+		return
+	}
+	fc, tc := h.core.idx, th.core.idx
+	if tc != fc && tc != fc+1 {
+		m.faultf(h.core.idx, h.idx, "ending signal target hart %d is not on the same or next core", link)
+		return
+	}
+	err := m.Mem.SendForward(now, fc, tc, func(done uint64) {
+		th.predSignal = true
+		m.stats.Signals++
+		m.event(trace.KindSignal, tc, th.idx, uint64(link))
+	})
+	if err != nil {
+		m.faultf(h.core.idx, h.idx, "ending signal: %v", err)
+	}
+}
+
+// sendJoin delivers a join address backward to the home hart.
+func (m *Machine) sendJoin(h *hart, home uint32, addr uint32, now uint64) {
+	th := m.Hart(home)
+	if th == nil {
+		m.faultf(h.core.idx, h.idx, "join to nonexistent hart %d", home)
+		return
+	}
+	fc, tc := h.core.idx, th.core.idx
+	if tc > fc {
+		m.faultf(h.core.idx, h.idx, "join target hart %d is on a later core (a data cannot go back in time)", home)
+		return
+	}
+	hidx := h.idx
+	err := m.Mem.SendBackward(now, fc, tc, func(done uint64) {
+		if th.state != hartWaitJoin {
+			m.faultf(fc, hidx, "join for hart %d in state %d (not waiting)", home, th.state)
+			return
+		}
+		th.start(addr, done)
+		m.stats.Joins++
+		m.event(trace.KindJoin, tc, th.idx, uint64(addr))
+	})
+	if err != nil {
+		m.faultf(h.core.idx, h.idx, "join: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+package mem
+
+import "container/heap"
+
+// Width of a memory access in bytes.
+type Width uint8
+
+const (
+	Width8  Width = 1
+	Width16 Width = 2
+	Width32 Width = 4
+)
+
+// event is a scheduled action in the memory system: applying an access at
+// its bank service time, or delivering a response at its completion time.
+type event struct {
+	cycle uint64
+	seq   uint64
+	run   func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (s *System) schedule(cycle uint64, run func()) {
+	s.seq++
+	heap.Push(&s.events, event{cycle: cycle, seq: s.seq, run: run})
+	if len(s.events) > s.Stats.PeakPendingEvents {
+		s.Stats.PeakPendingEvents = len(s.events)
+	}
+}
+
+// Step runs all memory events due at or before cycle `now`. It must be
+// called once per machine cycle, before the pipeline stages, so that
+// loads observe stores served in earlier cycles.
+func (s *System) Step(now uint64) {
+	for len(s.events) > 0 && s.events[0].cycle <= now {
+		e := heap.Pop(&s.events).(event)
+		e.run()
+	}
+}
+
+// Drained reports whether no events remain in flight.
+func (s *System) Drained() bool { return len(s.events) == 0 }
+
+// routeShared reserves the link slots of a shared access from core c to
+// bank o and returns (serviceStart, responseDone). hops counts link
+// traversals for the statistics.
+func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
+	hop := uint64(s.cfg.HopLat)
+	lat := uint64(s.cfg.SharedLat)
+	if c == o {
+		// Own bank through the local port: no routing.
+		s.Stats.SharedLocal++
+		t := s.alloc(&s.bankLocal[c], now+1)
+		return t, t + lat
+	}
+	s.Stats.SharedRemote++
+	d := s.cfg.RouterDegree
+	g1c, g1o := c/d, o/d // r1 groups
+	g2c, g2o := g1c/d, g1o/d
+	chc, cho := s.cfg.ChipOf(c), s.cfg.ChipOf(o)
+	chipHop := uint64(s.cfg.ChipHopLat)
+	hops := uint64(0)
+	t := s.alloc(&s.coreUp[c], now+hop)
+	hops++
+	if chc != cho {
+		// leave the source chip and enter the destination chip
+		t = s.alloc(&s.chipUpReq[chc], t+chipHop)
+		t = s.alloc(&s.chipDownReq[cho], t+chipHop)
+		hops += 2
+	}
+	switch {
+	case g1c == g1o:
+		// stays inside one r1
+	case g2c == g2o:
+		t = s.alloc(&s.r1UpReq[g1c], t+hop)
+		t = s.alloc(&s.r1DownReq[g1o], t+hop)
+		hops += 2
+	default:
+		t = s.alloc(&s.r1UpReq[g1c], t+hop)
+		t = s.alloc(&s.r2UpReq[g2c], t+hop)
+		t = s.alloc(&s.r2DownReq[g2o], t+hop)
+		t = s.alloc(&s.r1DownReq[g1o], t+hop)
+		hops += 4
+	}
+	t = s.alloc(&s.bankPort[o], t+hop)
+	hops++
+	serviceT = t
+	// response path (reverse), on the result links
+	t += lat
+	if chc != cho {
+		t = s.alloc(&s.chipUpResp[cho], t+chipHop)
+		t = s.alloc(&s.chipDownResp[chc], t+chipHop)
+		hops += 2
+	}
+	switch {
+	case g1c == g1o:
+	case g2c == g2o:
+		t = s.alloc(&s.r1UpResp[g1o], t+hop)
+		t = s.alloc(&s.r1DownResp[g1c], t+hop)
+		hops += 2
+	default:
+		t = s.alloc(&s.r1UpResp[g1o], t+hop)
+		t = s.alloc(&s.r2UpResp[g2o], t+hop)
+		t = s.alloc(&s.r2DownResp[g2c], t+hop)
+		t = s.alloc(&s.r1DownResp[g1c], t+hop)
+		hops += 4
+	}
+	t = s.alloc(&s.coreDown[c], t+hop)
+	hops++
+	s.Stats.RemoteHops += hops
+	return serviceT, t
+}
+
+// subWordLoad extracts a (sub-)word from w for an access at addr.
+func subWordLoad(w, addr uint32, width Width, signed bool) uint32 {
+	switch width {
+	case Width8:
+		b := w >> ((addr & 3) * 8) & 0xFF
+		if signed {
+			return uint32(int32(b<<24) >> 24)
+		}
+		return b
+	case Width16:
+		h := w >> ((addr & 2) * 8) & 0xFFFF
+		if signed {
+			return uint32(int32(h<<16) >> 16)
+		}
+		return h
+	default:
+		return w
+	}
+}
+
+// subWordStore merges v into w for an access at addr.
+func subWordStore(w, v, addr uint32, width Width) uint32 {
+	switch width {
+	case Width8:
+		sh := (addr & 3) * 8
+		return w&^(0xFF<<sh) | (v&0xFF)<<sh
+	case Width16:
+		sh := (addr & 2) * 8
+		return w&^(0xFFFF<<sh) | (v&0xFFFF)<<sh
+	default:
+		return v
+	}
+}
+
+// SubmitLoad submits a load from `core` at cycle `now`. When the response
+// arrives, cb is invoked (during a later Step call) with the loaded value
+// and the completion cycle. It returns false for an unmapped address.
+func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, signed bool, cb func(value uint32, done uint64)) bool {
+	switch RegionOf(addr) {
+	case RegionLocal:
+		off, ok := s.localSlot(addr)
+		if !ok {
+			return false
+		}
+		s.Stats.LocalAccesses++
+		t := s.alloc(&s.localPort[core], now+1)
+		done := t + uint64(s.cfg.LocalLat)
+		s.schedule(done, func() {
+			v := subWordLoad(s.local[core][off], addr, width, signed)
+			cb(v, done)
+		})
+		return true
+	case RegionShared:
+		bank, off, ok := s.sharedSlot(addr)
+		if !ok {
+			return false
+		}
+		serviceT, done := s.routeShared(now, core, bank)
+		var v uint32
+		s.schedule(serviceT, func() {
+			v = subWordLoad(s.shared[bank][off], addr, width, signed)
+		})
+		s.schedule(done, func() { cb(v, done) })
+		return true
+	default:
+		return false
+	}
+}
+
+// SubmitStore submits a store from `core`. cb (optional) is invoked when
+// the write is acknowledged back at the core.
+func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Width, cb func(done uint64)) bool {
+	switch RegionOf(addr) {
+	case RegionLocal:
+		off, ok := s.localSlot(addr)
+		if !ok {
+			return false
+		}
+		s.Stats.LocalAccesses++
+		t := s.alloc(&s.localPort[core], now+1)
+		done := t + uint64(s.cfg.LocalLat)
+		s.schedule(done, func() {
+			s.local[core][off] = subWordStore(s.local[core][off], value, addr, width)
+			if cb != nil {
+				cb(done)
+			}
+		})
+		return true
+	case RegionShared:
+		bank, off, ok := s.sharedSlot(addr)
+		if !ok {
+			return false
+		}
+		serviceT, done := s.routeShared(now, core, bank)
+		s.schedule(serviceT, func() {
+			s.shared[bank][off] = subWordStore(s.shared[bank][off], value, addr, width)
+		})
+		s.schedule(done, func() {
+			if cb != nil {
+				cb(done)
+			}
+		})
+		return true
+	default:
+		return false
+	}
+}
+
+// SubmitCVWrite submits a continuation-value write (p_swcv): a word store
+// into the local bank of targetCore, issued by fromCore. If the target is
+// the next core, the forward inter-core link is traversed first.
+// cb is invoked when the write has been performed at the target bank.
+func (s *System) SubmitCVWrite(now uint64, fromCore, targetCore int, addr, value uint32, cb func(done uint64)) bool {
+	off, ok := s.localSlot(addr)
+	if !ok {
+		return false
+	}
+	s.Stats.CVWrites++
+	t := now
+	if targetCore != fromCore {
+		t = s.alloc(&s.forward[fromCore], t+uint64(s.cfg.HopLat))
+	}
+	t = s.alloc(&s.localPort[targetCore], t+1)
+	done := t + uint64(s.cfg.LocalLat)
+	s.schedule(done, func() {
+		s.local[targetCore][off] = value
+		if cb != nil {
+			cb(done)
+		}
+	})
+	return true
+}

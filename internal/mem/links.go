@@ -1,0 +1,65 @@
+package mem
+
+import "fmt"
+
+// Inter-core message transport.
+//
+// Besides memory transactions, the LBP cores exchange small control
+// messages: hart start addresses and ending-hart signals travel on the
+// forward neighbor links (blue arrows of Figure 9), join addresses and
+// p_swre result values travel on the backward line (magenta arrows).
+// These share the deterministic link-slot allocation and the event queue
+// of the memory system so that all machine events are totally ordered.
+
+// ensureBackward lazily sizes the backward link array.
+func (s *System) ensureBackward() {
+	if s.backward == nil {
+		s.backward = make([]uint64, s.cfg.Cores)
+	}
+}
+
+// SendForward delivers a control message from core `from` to core `to`,
+// where to == from or to == from+1 (the forward links only connect
+// neighbors). fn runs at delivery time during a Step call.
+func (s *System) SendForward(now uint64, from, to int, fn func(done uint64)) error {
+	if to != from && to != from+1 {
+		return fmt.Errorf("mem: forward message %d->%d is not neighbor-bound", from, to)
+	}
+	t := now + 1
+	if to != from {
+		t = s.alloc(&s.forward[from], now+uint64(s.cfg.HopLat))
+		if s.cfg.ChipOf(to) != s.cfg.ChipOf(from) {
+			t += uint64(s.cfg.ChipHopLat) // neighbor link crosses the chip edge
+		}
+	}
+	s.schedule(t, func() { fn(t) })
+	return nil
+}
+
+// SendBackward delivers a message from core `from` to a prior core `to`
+// (to <= from) over the backward line, one link per intermediate core.
+func (s *System) SendBackward(now uint64, from, to int, fn func(done uint64)) error {
+	if to > from {
+		return fmt.Errorf("mem: backward message %d->%d goes forward in core order", from, to)
+	}
+	s.ensureBackward()
+	t := now
+	if to == from {
+		t = now + 1
+	} else {
+		for c := from; c > to; c-- {
+			t = s.alloc(&s.backward[c], t+uint64(s.cfg.HopLat))
+			if s.cfg.ChipOf(c) != s.cfg.ChipOf(c-1) {
+				t += uint64(s.cfg.ChipHopLat)
+			}
+		}
+	}
+	s.schedule(t, func() { fn(t) })
+	return nil
+}
+
+// At schedules fn to run at the given cycle during Step. The machine uses
+// it for deterministic deferred pipeline actions.
+func (s *System) At(cycle uint64, fn func()) {
+	s.schedule(cycle, fn)
+}

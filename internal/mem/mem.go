@@ -1,0 +1,304 @@
+// Package mem models the LBP memory organization (Figure 13 of the paper):
+// per core a code bank, a local bank (hart stacks) and one bank of the
+// shared global memory, plus the hierarchical r1/r2/r3 router tree that
+// serves remote shared accesses.
+//
+// Timing model. Every unidirectional link (core->r1, r1->core, r1<->r2,
+// r2<->r3, bank ports) carries one transaction per cycle. A transaction
+// traversing a sequence of links is serialized on each of them: it takes
+// one cycle per hop plus any wait for the link to become free, plus the
+// bank access latency at the target bank. The model is deterministic:
+// transactions acquire link slots in submission order.
+//
+// Values are exchanged at bank service time: a store updates the backing
+// array when it is served by the bank, a load reads it then. Completion
+// (the response arriving back at the requesting core) is reported later,
+// after the response traversed the return path.
+package mem
+
+import "fmt"
+
+// Address space layout.
+const (
+	CodeBase   = 0x00000000
+	LocalBase  = 0x40000000
+	SharedBase = 0x80000000
+)
+
+// Region identifies which address space an address belongs to.
+type Region uint8
+
+const (
+	RegionCode Region = iota
+	RegionLocal
+	RegionShared
+	RegionBad
+)
+
+// RegionOf classifies an address.
+func RegionOf(addr uint32) Region {
+	switch {
+	case addr < LocalBase:
+		return RegionCode
+	case addr < SharedBase:
+		return RegionLocal
+	default:
+		return RegionShared
+	}
+}
+
+// Config sizes the memory system.
+type Config struct {
+	Cores        int
+	CodeBytes    uint32 // size of the (replicated) code bank
+	LocalBytes   uint32 // size of each core's local bank
+	SharedBytes  uint32 // size of each core's shared bank
+	LocalLat     int    // local-bank access latency (cycles at the bank)
+	SharedLat    int    // shared-bank access latency (cycles at the bank)
+	HopLat       int    // per-link traversal latency
+	RouterDegree int    // fan-in of each router level (4 in the paper)
+
+	// Multi-chip extension (Figure 15): when CoresPerChip > 0, cores are
+	// grouped into chips of that size; traffic crossing a chip boundary
+	// pays ChipHopLat per boundary and serializes on one external link
+	// pair per chip (requests and results separately).
+	CoresPerChip int
+	ChipHopLat   int
+}
+
+// ChipOf returns the chip index of a core (0 when single-chip).
+func (c *Config) ChipOf(core int) int {
+	if c.CoresPerChip <= 0 {
+		return 0
+	}
+	return core / c.CoresPerChip
+}
+
+// DefaultConfig returns the paper-inspired parameters for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:        n,
+		CodeBytes:    1 << 20, // 1 MiB of code
+		LocalBytes:   1 << 16, // 64 KiB local bank (4 hart stacks)
+		SharedBytes:  1 << 16, // 64 KiB shared bank per core
+		LocalLat:     2,
+		SharedLat:    3,
+		HopLat:       2,
+		RouterDegree: 4,
+	}
+}
+
+// AccessKind describes a memory transaction for statistics.
+type AccessKind uint8
+
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+)
+
+// Stats aggregates memory traffic counters.
+type Stats struct {
+	LocalAccesses     uint64 // own local-bank accesses
+	SharedLocal       uint64 // own shared-bank accesses (no routing)
+	SharedRemote      uint64 // routed shared accesses
+	RemoteHops        uint64 // total link hops of routed accesses
+	TotalWaitCycles   uint64 // cycles spent waiting for busy links/ports
+	CVWrites          uint64 // continuation-value writes (p_swcv)
+	PeakPendingEvents int
+}
+
+// System is the whole memory subsystem of an LBP machine.
+type System struct {
+	cfg    Config
+	code   []uint32
+	local  [][]uint32 // per core
+	shared [][]uint32 // per core
+
+	// link free times, all indexed as described in route().
+	coreUp, coreDown    []uint64 // core <-> r1
+	bankPort, bankLocal []uint64 // shared bank ports (router side, local side)
+	localPort           []uint64 // local bank port
+	// Router-tree links, one slot per cycle each. Requests and results
+	// travel on distinct links in each direction (Section 5.3: an r2
+	// receives 4 requests from its r1s AND sends 4 results back each
+	// cycle), so the four families are independent.
+	r1UpReq, r1UpResp     []uint64 // r1 -> r2
+	r1DownReq, r1DownResp []uint64 // r2 -> r1
+	r2UpReq, r2UpResp     []uint64 // r2 -> r3
+	r2DownReq, r2DownResp []uint64 // r3 -> r2
+	forward               []uint64 // core c -> core c+1 forward link
+	backward              []uint64 // core c -> core c-1 backward line
+
+	// per-chip external links (multi-chip extension)
+	chipUpReq, chipUpResp     []uint64
+	chipDownReq, chipDownResp []uint64
+
+	events eventQueue
+	seq    uint64
+	Stats  Stats
+}
+
+// New creates a memory system.
+func New(cfg Config) *System {
+	if cfg.RouterDegree == 0 {
+		cfg.RouterDegree = 4
+	}
+	n := cfg.Cores
+	d := cfg.RouterDegree
+	nr1 := (n + d - 1) / d
+	nr2 := (nr1 + d - 1) / d
+	s := &System{
+		cfg:        cfg,
+		code:       make([]uint32, cfg.CodeBytes/4),
+		local:      make([][]uint32, n),
+		shared:     make([][]uint32, n),
+		coreUp:     make([]uint64, n),
+		coreDown:   make([]uint64, n),
+		bankPort:   make([]uint64, n),
+		bankLocal:  make([]uint64, n),
+		localPort:  make([]uint64, n),
+		r1UpReq:    make([]uint64, nr1),
+		r1UpResp:   make([]uint64, nr1),
+		r1DownReq:  make([]uint64, nr1),
+		r1DownResp: make([]uint64, nr1),
+		r2UpReq:    make([]uint64, nr2),
+		r2UpResp:   make([]uint64, nr2),
+		r2DownReq:  make([]uint64, nr2),
+		r2DownResp: make([]uint64, nr2),
+		forward:    make([]uint64, n),
+	}
+	if cfg.CoresPerChip > 0 {
+		nchips := (n + cfg.CoresPerChip - 1) / cfg.CoresPerChip
+		s.chipUpReq = make([]uint64, nchips)
+		s.chipUpResp = make([]uint64, nchips)
+		s.chipDownReq = make([]uint64, nchips)
+		s.chipDownResp = make([]uint64, nchips)
+	}
+	for c := 0; c < n; c++ {
+		s.local[c] = make([]uint32, cfg.LocalBytes/4)
+		s.shared[c] = make([]uint32, cfg.SharedBytes/4)
+	}
+	return s
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// LoadCode installs the (replicated) code image.
+func (s *System) LoadCode(base uint32, words []uint32) error {
+	if base%4 != 0 {
+		return fmt.Errorf("mem: code base %#x not word aligned", base)
+	}
+	idx := (base - CodeBase) / 4
+	if int(idx)+len(words) > len(s.code) {
+		return fmt.Errorf("mem: code image of %d words overflows code bank", len(words))
+	}
+	copy(s.code[idx:], words)
+	return nil
+}
+
+// LoadShared installs initialized data words at an absolute shared address.
+func (s *System) LoadShared(addr uint32, words []uint32) error {
+	for i, w := range words {
+		a := addr + uint32(4*i)
+		bank, off, ok := s.sharedSlot(a)
+		if !ok {
+			return fmt.Errorf("mem: data address %#x outside shared space", a)
+		}
+		s.shared[bank][off] = w
+	}
+	return nil
+}
+
+// FetchWord reads an instruction word from the code bank. Instruction
+// fetch has a dedicated port per core and never contends.
+func (s *System) FetchWord(addr uint32) (uint32, bool) {
+	if addr%4 != 0 || RegionOf(addr) != RegionCode {
+		return 0, false
+	}
+	idx := addr / 4
+	if int(idx) >= len(s.code) {
+		return 0, false
+	}
+	return s.code[idx], true
+}
+
+// sharedSlot maps a shared address to (bank, word offset).
+func (s *System) sharedSlot(addr uint32) (int, uint32, bool) {
+	if RegionOf(addr) != RegionShared {
+		return 0, 0, false
+	}
+	off := addr - SharedBase
+	bank := int(off / s.cfg.SharedBytes)
+	if bank >= s.cfg.Cores {
+		return 0, 0, false
+	}
+	return bank, (off % s.cfg.SharedBytes) / 4, true
+}
+
+// localSlot maps a local address to a word offset in the core's local bank.
+func (s *System) localSlot(addr uint32) (uint32, bool) {
+	if RegionOf(addr) != RegionLocal {
+		return 0, false
+	}
+	off := addr - LocalBase
+	if off >= s.cfg.LocalBytes {
+		return 0, false
+	}
+	return off / 4, true
+}
+
+// BankOwner returns the core whose shared bank holds addr, or -1.
+func (s *System) BankOwner(addr uint32) int {
+	bank, _, ok := s.sharedSlot(addr)
+	if !ok {
+		return -1
+	}
+	return bank
+}
+
+// SharedAddr returns the absolute address of word index off in bank b.
+func (s *System) SharedAddr(bank int, off uint32) uint32 {
+	return SharedBase + uint32(bank)*s.cfg.SharedBytes + off*4
+}
+
+// alloc reserves the first slot >= tmin on a link and returns it.
+func (s *System) alloc(link *uint64, tmin uint64) uint64 {
+	t := tmin
+	if *link > t {
+		s.Stats.TotalWaitCycles += *link - t
+		t = *link
+	}
+	*link = t + 1
+	return t
+}
+
+// PeekLocal reads a word from a core's local bank without timing
+// (inspection/debug only).
+func (s *System) PeekLocal(core int, addr uint32) (uint32, bool) {
+	off, ok := s.localSlot(addr)
+	if !ok {
+		return 0, false
+	}
+	return s.local[core][off], true
+}
+
+// PeekShared reads a word from the shared space without timing.
+func (s *System) PeekShared(addr uint32) (uint32, bool) {
+	bank, off, ok := s.sharedSlot(addr)
+	if !ok {
+		return 0, false
+	}
+	return s.shared[bank][off], true
+}
+
+// PokeShared writes a word to the shared space without timing (device and
+// loader use).
+func (s *System) PokeShared(addr uint32, v uint32) bool {
+	bank, off, ok := s.sharedSlot(addr)
+	if !ok {
+		return false
+	}
+	s.shared[bank][off] = v
+	return true
+}

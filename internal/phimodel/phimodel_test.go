@@ -1,0 +1,32 @@
+package phimodel
+
+import "testing"
+
+func TestCalibrationMatchesFigure21(t *testing.T) {
+	r := Default().TiledMatmul(256)
+	// paper: 32M instructions, 391K cycles, IPC 81.86 (1.28/core)
+	if r.Instructions < 31_500_000 || r.Instructions > 32_500_000 {
+		t.Errorf("instructions = %d, want ~32M", r.Instructions)
+	}
+	if r.Cycles < 370_000 || r.Cycles > 410_000 {
+		t.Errorf("cycles = %d, want ~391K", r.Cycles)
+	}
+	if r.IPC < 78 || r.IPC > 86 {
+		t.Errorf("IPC = %.2f, want ~81.86", r.IPC)
+	}
+	if r.IPCPerCore > Default().PeakPerCore {
+		t.Errorf("per-core IPC %.2f exceeds the peak", r.IPCPerCore)
+	}
+}
+
+func TestModelScalesMonotonically(t *testing.T) {
+	c := Default()
+	prev := Result{}
+	for _, h := range []int{16, 64, 256} {
+		r := c.TiledMatmul(h)
+		if r.Instructions <= prev.Instructions || r.Cycles <= prev.Cycles {
+			t.Errorf("h=%d not monotone: %+v after %+v", h, r, prev)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace records the cycle-by-cycle events of an LBP run in a form
+// suitable for determinism checking: every event folds into a running
+// 64-bit FNV-1a digest, and (optionally) the most recent events are kept
+// in a ring buffer for inspection.
+//
+// Two runs of the same program on the same machine configuration must
+// produce identical digests and identical event counts — that is the
+// paper's cycle-determinism property (experiment E4 in DESIGN.md).
+package trace
+
+import "fmt"
+
+// Kind labels an event class.
+type Kind uint8
+
+const (
+	KindFetch Kind = iota
+	KindCommit
+	KindMemReq
+	KindMemDone
+	KindFork
+	KindStart
+	KindSignal
+	KindJoin
+	KindSend
+	KindRecv
+	KindIO
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fetch", "commit", "memreq", "memdone", "fork", "start",
+	"signal", "join", "send", "recv", "io",
+}
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one machine event.
+type Event struct {
+	Cycle uint64
+	Core  uint16
+	Hart  uint8
+	Kind  Kind
+	Value uint64 // event-specific payload (pc, address, value, ...)
+}
+
+// String formats an event like the paper's example statements
+// ("at cycle 467171, core 55, hart 2 ...").
+func (e Event) String() string {
+	return fmt.Sprintf("at cycle %d, core %d, hart %d: %s %#x",
+		e.Cycle, e.Core, e.Hart, e.Kind, e.Value)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Recorder accumulates events. The zero value records nothing; use New.
+type Recorder struct {
+	digest uint64
+	count  uint64
+	ring   []Event
+	next   int
+	full   bool
+}
+
+// New creates a Recorder keeping the last ringSize events (0 = none).
+func New(ringSize int) *Recorder {
+	r := &Recorder{digest: fnvOffset}
+	if ringSize > 0 {
+		r.ring = make([]Event, ringSize)
+	}
+	return r
+}
+
+// Add folds an event into the digest.
+func (r *Recorder) Add(e Event) {
+	h := r.digest
+	for _, w := range [4]uint64{e.Cycle, uint64(e.Core)<<8 | uint64(e.Hart), uint64(e.Kind), e.Value} {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xFF
+			h *= fnvPrime
+			w >>= 8
+		}
+	}
+	r.digest = h
+	r.count++
+	if r.ring != nil {
+		r.ring[r.next] = e
+		r.next++
+		if r.next == len(r.ring) {
+			r.next = 0
+			r.full = true
+		}
+	}
+}
+
+// Digest returns the running digest.
+func (r *Recorder) Digest() uint64 { return r.digest }
+
+// Count returns the number of recorded events.
+func (r *Recorder) Count() uint64 { return r.count }
+
+// Last returns up to n of the most recent events, oldest first.
+func (r *Recorder) Last(n int) []Event {
+	if r.ring == nil {
+		return nil
+	}
+	var evs []Event
+	if r.full {
+		evs = append(evs, r.ring[r.next:]...)
+	}
+	evs = append(evs, r.ring[:r.next]...)
+	if n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Same reports whether two recorders saw identical event streams
+// (same digest and count).
+func Same(a, b *Recorder) bool {
+	return a.Digest() == b.Digest() && a.Count() == b.Count()
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestDeterministic(t *testing.T) {
+	mk := func() *Recorder {
+		r := New(0)
+		for i := 0; i < 100; i++ {
+			r.Add(Event{Cycle: uint64(i), Core: uint16(i % 4), Hart: uint8(i % 4),
+				Kind: Kind(i % int(numKinds)), Value: uint64(i * 7)})
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if !Same(a, b) {
+		t.Error("identical streams must have identical digests")
+	}
+	if a.Count() != 100 {
+		t.Errorf("count = %d", a.Count())
+	}
+}
+
+func TestDigestSensitive(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(Event{Cycle: 1, Core: 0, Hart: 0, Kind: KindFetch, Value: 4})
+	b.Add(Event{Cycle: 1, Core: 0, Hart: 0, Kind: KindFetch, Value: 8})
+	if Same(a, b) {
+		t.Error("different values must differ")
+	}
+	c, d := New(0), New(0)
+	c.Add(Event{Cycle: 1, Core: 2, Hart: 0, Kind: KindCommit})
+	d.Add(Event{Cycle: 1, Core: 0, Hart: 2, Kind: KindCommit})
+	if Same(c, d) {
+		t.Error("core/hart swap must differ")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Cycle: uint64(i)})
+	}
+	last := r.Last(4)
+	if len(last) != 4 {
+		t.Fatalf("got %d events", len(last))
+	}
+	for i, e := range last {
+		if e.Cycle != uint64(6+i) {
+			t.Errorf("event %d: cycle %d", i, e.Cycle)
+		}
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].Cycle != 8 {
+		t.Errorf("Last(2) = %v", got)
+	}
+	empty := New(0)
+	if empty.Last(5) != nil {
+		t.Error("recorder without ring must return nil")
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := New(8)
+	r.Add(Event{Cycle: 1})
+	r.Add(Event{Cycle: 2})
+	last := r.Last(8)
+	if len(last) != 2 || last[0].Cycle != 1 || last[1].Cycle != 2 {
+		t.Errorf("partial ring: %v", last)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 467171, Core: 55, Hart: 2, Kind: KindMemReq, Value: 106688}
+	want := "at cycle 467171, core 55, hart 2: memreq 0x1a0c0"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: order matters — any transposition of two distinct events
+// changes the digest.
+func TestQuickOrderSensitivity(t *testing.T) {
+	f := func(v1, v2 uint64) bool {
+		if v1 == v2 {
+			return true
+		}
+		a, b := New(0), New(0)
+		a.Add(Event{Value: v1})
+		a.Add(Event{Value: v2})
+		b.Add(Event{Value: v2})
+		b.Add(Event{Value: v1})
+		return !Same(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

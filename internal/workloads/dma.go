@@ -1,0 +1,61 @@
+package workloads
+
+import "fmt"
+
+// DMASource generates the Section 6 DMA pattern: "using one hart as an
+// input controller to fill all the shared memory banks with a structured
+// data distributed to the computing harts. The synchronization of the
+// DMA with the using harts is done through p_swre and p_lwre pairs of
+// X_PAR instructions rather than through interrupts."
+//
+// A team of `nt` harts is created; the LAST member is the DMA controller
+// (like Figure 17's input controller on the last hart, because the
+// backward line only reaches prior harts). The controller polls the
+// input port, copies each arriving word into the consumer's own shared
+// bank, and releases the consumer with a result-buffer send. Consumer t
+// blocks on lbp_recv_result until its datum arrived, then computes on it
+// — no interrupts, no OS, just read-after-write dependencies.
+//
+// Machine side: attach an lbp.Sensor to inflag/inval, scheduling nt-1
+// arrivals; results land in `out` (consumer t stores value*2+t).
+func DMASource(nt int) string {
+	return fmt.Sprintf(`/* DMA input controller, Section 6 */
+#include <det_omp.h>
+#define NT %d
+#define RESW 128
+
+int inflag;
+int inval;
+int out[NT];
+
+/* chunk slot of consumer t, in its own bank */
+int *slot(int t) { return lbp_bank_ptr(t >> 2) + RESW + (t & 3); }
+
+void consumer(int t) {
+	int token;
+	token = lbp_recv_result(0);     /* blocks until the DMA released us */
+	out[t] = *slot(t) * 2 + token;  /* datum is already in our bank */
+}
+
+void controller(int nwords) {
+	int n;
+	int v;
+	for (n = 0; n < nwords; n++) {
+		while (lbp_poll(&inflag) <= n) {}   /* poll the input port */
+		v = inval;
+		*slot(n) = v;                       /* fill the consumer's bank */
+		lbp_syncm();                        /* drain before releasing */
+		lbp_send_result(n, 1000 + n, 0);    /* release consumer n */
+	}
+}
+
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < NT; t++) {
+		if (t == NT - 1) controller(NT - 1);
+		else consumer(t);
+	}
+}
+`, nt)
+}

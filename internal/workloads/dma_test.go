@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+)
+
+func runDMA(t *testing.T, nt int, arrivalBase uint64) (*lbp.Machine, *asm.Program, *lbp.Result) {
+	t.Helper()
+	src := DMASource(nt)
+	opt := cc.DefaultOptions()
+	opt.Cores = nt / 4
+	opt.BankReserveBytes = 512
+	asmText, err := cc.BuildProgram(src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lbp.New(lbp.DefaultConfig(nt / 4))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// the input device streams nt-1 words
+	events := make([]lbp.SensorEvent, nt-1)
+	for i := range events {
+		events[i] = lbp.SensorEvent{
+			Cycle: arrivalBase + uint64(200*i),
+			Value: uint32(7 * (i + 1)),
+		}
+	}
+	m.AddDevice(&lbp.Sensor{
+		Name:      "dma-input",
+		ValueAddr: prog.Symbols["inval"],
+		FlagAddr:  prog.Symbols["inflag"],
+		Events:    events,
+	})
+	res, err := m.Run(20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, prog, res
+}
+
+func TestDMADistributesAndSynchronizes(t *testing.T) {
+	m, prog, res := runDMA(t, 16, 2000)
+	base := prog.Symbols["out"]
+	for i := 0; i < 15; i++ {
+		want := uint32(7*(i+1))*2 + uint32(1000+i)
+		if v, _ := m.ReadShared(base + uint32(4*i)); v != want {
+			t.Errorf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+	if res.Stats.RemoteSends != 15 {
+		t.Errorf("backward-line sends = %d, want 15", res.Stats.RemoteSends)
+	}
+}
+
+func TestDMAInputTimingOnlyMovesCycles(t *testing.T) {
+	m1, prog, r1 := runDMA(t, 8, 1000)
+	m2, _, r2 := runDMA(t, 8, 30000)
+	base := prog.Symbols["out"]
+	for i := 0; i < 7; i++ {
+		v1, _ := m1.ReadShared(base + uint32(4*i))
+		v2, _ := m2.ReadShared(base + uint32(4*i))
+		if v1 != v2 {
+			t.Errorf("out[%d] differs under timing: %d vs %d", i, v1, v2)
+		}
+	}
+	if r2.Stats.Cycles <= r1.Stats.Cycles {
+		t.Errorf("later inputs must lengthen the run: %d vs %d",
+			r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+}

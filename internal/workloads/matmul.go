@@ -1,0 +1,268 @@
+// Package workloads generates the MiniC sources of the paper's benchmark
+// programs: the five integer matrix multiplication variants of Section 7
+// (base, copy, distributed, distributed+copy, tiled) and the sensor-fusion
+// example of Section 6.
+//
+// Each matmul run multiplies X (h x h/2) with Y (h/2 x h) into Z (h x h),
+// where h is the hart count (16, 64 or 256 in the paper); both inputs are
+// all-ones, so Z must be h/2 everywhere. One parallel-for iteration (one
+// team member, one hart) computes one line — or, for the tiled variant,
+// one tile — of Z.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MatmulVariant names one of the paper's five program versions.
+type MatmulVariant string
+
+// The five versions of Section 7.
+const (
+	Base        MatmulVariant = "base"
+	Copy        MatmulVariant = "copy"
+	Distributed MatmulVariant = "distributed"
+	DistCopy    MatmulVariant = "d+c"
+	Tiled       MatmulVariant = "tiled"
+)
+
+// Variants lists all matmul variants in the paper's order.
+var Variants = []MatmulVariant{Base, Copy, Distributed, DistCopy, Tiled}
+
+// reserveWords is the per-bank reserve (in words) before __bank data; it
+// must match the cc.Options.BankReserveBytes/4 used by BuildMatmul.
+const reserveWords = 128
+
+// SharedBankBytes returns the per-core shared bank size used for the
+// matmul experiments: 64*h bytes, so that the base version's sequential
+// matrices (10*h*h bytes) span most of the machine's banks, as on the
+// paper's FPGA memory. h must make this a power of two (16, 64, 256 do).
+func SharedBankBytes(h int) uint32 { return uint32(64 * h) }
+
+// isqrt returns the integer square root when exact, else 0.
+func isqrt(h int) int {
+	for r := 1; r*r <= h; r++ {
+		if r*r == h {
+			return r
+		}
+	}
+	return 0
+}
+
+// MatmulSource generates the MiniC source of a variant for h harts.
+// h must be a multiple of 4 with an integer square root for Tiled
+// (16, 64, 256 satisfy both).
+func MatmulSource(v MatmulVariant, h int) (string, error) {
+	if h < 4 || h%4 != 0 {
+		return "", fmt.Errorf("workloads: hart count %d must be a positive multiple of 4", h)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* %s matrix multiplication, %d harts */\n", v, h)
+	b.WriteString("#include <det_omp.h>\n")
+	fmt.Fprintf(&b, "#define H %d\n", h)
+	fmt.Fprintf(&b, "#define COLX %d\n", h/2)
+	fmt.Fprintf(&b, "#define RESW %d\n", reserveWords)
+	switch v {
+	case Base:
+		b.WriteString(baseSource(false))
+	case Copy:
+		b.WriteString(baseSource(true))
+	case Distributed, DistCopy:
+		b.WriteString(bankArrays(h))
+		b.WriteString(distributedSource(v == DistCopy))
+	case Tiled:
+		r := isqrt(h)
+		if r == 0 {
+			return "", fmt.Errorf("workloads: tiled needs a square hart count, got %d", h)
+		}
+		fmt.Fprintf(&b, "#define TS %d\n", r)   // tile side
+		fmt.Fprintf(&b, "#define TK %d\n", r/2) // k-tile depth
+		b.WriteString(bankArrays(h))
+		b.WriteString(tiledSource())
+	default:
+		return "", fmt.Errorf("workloads: unknown variant %q", v)
+	}
+	return b.String(), nil
+}
+
+// baseSource is the Figure 18 program: global matrices placed sequentially
+// from the shared base; each hart computes one line of Z with the
+// j-outer / k-inner loop. withCopy first copies the X line to the hart's
+// local stack (the "copy" version).
+func baseSource(withCopy bool) string {
+	copyDecl, copyLoop, xBase := "", "", "x0"
+	if withCopy {
+		copyDecl = "\tint xl[COLX];\n"
+		copyLoop = `	px = x0;
+	for (k = 0; k < COLX; k++) { xl[k] = *px; px = px + 1; }
+`
+		xBase = "xl"
+	}
+	return `
+int X[H*COLX] = {[0 ... H*COLX-1] = 1};
+int Y[COLX*H] = {[0 ... COLX*H-1] = 1};
+int Z[H*H];
+
+void thread(int t) {
+	int j; int k; int tmp;
+	int *px; int *py; int *pz; int *xe;
+	int *x0;
+` + copyDecl + `	x0 = X + t * COLX;
+	pz = Z + t * H;
+` + copyLoop + `	for (j = 0; j < H; j++) {
+		tmp = 0;
+		px = ` + xBase + `;
+		xe = ` + xBase + ` + COLX;
+		py = Y + j;
+		while (px < xe) {
+			tmp = tmp + *px * *py;
+			px = px + 1;
+			py = py + H;
+		}
+		*pz = tmp;
+		pz = pz + 1;
+	}
+}
+
+void main() {
+	int t;
+	omp_set_num_threads(H);
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) thread(t);
+}
+`
+}
+
+// bankArrays declares one initialized data array per shared bank,
+// realizing the paper's distribution: each bank holds 4 lines of X
+// (4*COLX = 2H words, all ones), 2 lines of Y (2H words, all ones) and
+// 4 lines of Z (4H words, zero).
+func bankArrays(h int) string {
+	var b strings.Builder
+	cores := h / 4
+	for c := 0; c < cores; c++ {
+		fmt.Fprintf(&b, "int __dbank%d[8*H] __bank(%d) = {[0 ... 4*H-1] = 1};\n", c, c)
+	}
+	b.WriteString(`
+/* distributed layout accessors: line i of X lives in bank i/4, line k of
+   Y in bank k/2, line i of Z in bank i/4 (Section 7, "distributed"). */
+int *xrow(int i) { return lbp_bank_ptr(i >> 2) + RESW + (i & 3) * COLX; }
+int *yrow(int k) { return lbp_bank_ptr(k >> 1) + RESW + 2*H + (k & 1) * H; }
+int *zrow(int i) { return lbp_bank_ptr(i >> 2) + RESW + 4*H + (i & 3) * H; }
+`)
+	return b.String()
+}
+
+// distributedSource computes one Z line per hart with the k-outer /
+// j-inner schedule: the X line is in the hart's own bank, the Y lines
+// stream from all banks, and the Z line accumulates in the local stack.
+// withCopy also copies the X line to the stack first (the "d+c" version).
+func distributedSource(withCopy bool) string {
+	xAccess := "*px"
+	copyDecl, copyLoop := "", ""
+	if withCopy {
+		copyDecl = "\tint xl[COLX];\n"
+		copyLoop = `	px = xrow(t);
+	for (k = 0; k < COLX; k++) { xl[k] = *px; px = px + 1; }
+`
+		xAccess = "xl[k]"
+	}
+	return `
+void thread(int t) {
+	int j; int k; int xk;
+	int *px; int *py; int *pz; int *ye;
+	int zl[H];
+` + copyDecl + `	for (j = 0; j < H; j++) zl[j] = 0;
+` + copyLoop + `	px = xrow(t);
+	for (k = 0; k < COLX; k++) {
+		xk = ` + xAccess + `;
+` + func() string {
+		if withCopy {
+			return ""
+		}
+		return "\t\tpx = px + 1;\n"
+	}() + `		py = yrow(k);
+		ye = py + H;
+		pz = zl;
+		while (py < ye) {
+			*pz = *pz + xk * *py;
+			py = py + 1;
+			pz = pz + 1;
+		}
+	}
+	pz = zrow(t);
+	for (j = 0; j < H; j++) { *pz = zl[j]; pz = pz + 1; }
+}
+
+void main() {
+	int t;
+	omp_set_num_threads(H);
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) thread(t);
+}
+`
+}
+
+// tiledSource is the classic five-nested-loop tiled multiplication on the
+// distributed layout: hart t computes the (t/TS, t%TS) tile of Z, copying
+// each X and Y tile into the local stack before the all-local inner loops
+// (Section 7, "tiled": X/Y tiles have H/2 elements, Z tiles have H).
+func tiledSource() string {
+	return `
+void thread(int t) {
+	int tr; int tc; int kt; int i; int j; int k;
+	int tmp;
+	int *p; int *q;
+	int xt[TS*TK];
+	int yt[TK*TS];
+	int zt[TS*TS];
+	tr = t / TS;
+	tc = t % TS;
+	for (i = 0; i < TS*TS; i++) zt[i] = 0;
+	for (kt = 0; kt < TS; kt++) {
+		/* copy the X tile (TS x TK) */
+		q = xt;
+		for (i = 0; i < TS; i++) {
+			p = xrow(tr*TS + i) + kt*TK;
+			for (k = 0; k < TK; k++) { *q = *p; p = p + 1; q = q + 1; }
+		}
+		/* copy the Y tile (TK x TS) */
+		q = yt;
+		for (k = 0; k < TK; k++) {
+			p = yrow(kt*TK + k) + tc*TS;
+			for (j = 0; j < TS; j++) { *q = *p; p = p + 1; q = q + 1; }
+		}
+		/* multiply the tiles: all accesses local */
+		for (i = 0; i < TS; i++) {
+			for (j = 0; j < TS; j++) {
+				int *pa; int *pe; int *pb;
+				tmp = zt[i*TS + j];
+				pa = xt + i*TK;
+				pe = pa + TK;
+				pb = yt + j;
+				while (pa < pe) {
+					tmp = tmp + *pa * *pb;
+					pa = pa + 1;
+					pb = pb + TS;
+				}
+				zt[i*TS + j] = tmp;
+			}
+		}
+	}
+	/* write the Z tile back */
+	for (i = 0; i < TS; i++) {
+		p = zrow(tr*TS + i) + tc*TS;
+		q = zt + i*TS;
+		for (j = 0; j < TS; j++) { *p = *q; p = p + 1; q = q + 1; }
+	}
+}
+
+void main() {
+	int t;
+	omp_set_num_threads(H);
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) thread(t);
+}
+`
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/lbp"
+)
+
+// runVariant builds and runs one variant at hart count h and verifies Z.
+func runVariant(t *testing.T, v MatmulVariant, h int) *lbp.Result {
+	t.Helper()
+	prog, err := BuildMatmul(v, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatmulMachine(h)
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(MaxMatmulCycles(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMatmul(m, prog, v, h); err != nil {
+		t.Error(err)
+	}
+	return res
+}
+
+func TestAllVariants16Harts(t *testing.T) {
+	for _, v := range Variants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res := runVariant(t, v, 16)
+			if res.Stats.Forks != 15 {
+				t.Errorf("forks = %d, want 15", res.Stats.Forks)
+			}
+			t.Logf("%-12s h=16: cycles=%d retired=%d ipc=%.2f",
+				v, res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC())
+		})
+	}
+}
+
+func TestVariants64Harts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, v := range []MatmulVariant{Base, Tiled} {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res := runVariant(t, v, 64)
+			t.Logf("%-12s h=64: cycles=%d retired=%d ipc=%.2f",
+				v, res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC())
+		})
+	}
+}
+
+func TestMatmulSourceErrors(t *testing.T) {
+	if _, err := MatmulSource(Base, 3); err == nil {
+		t.Error("non-multiple-of-4 must fail")
+	}
+	if _, err := MatmulSource(Tiled, 8); err == nil {
+		t.Error("non-square tiled must fail")
+	}
+	if _, err := MatmulSource(MatmulVariant("bogus"), 16); err == nil {
+		t.Error("unknown variant must fail")
+	}
+}
+
+func TestAllHartsBusy(t *testing.T) {
+	prog, err := BuildMatmul(Base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatmulMachine(16)
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(MaxMatmulCycles(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Stats.PerHart {
+		if r == 0 {
+			t.Errorf("hart %d retired nothing", i)
+		}
+	}
+}
+
+// Golden regression guard: the recorded EXPERIMENTS.md numbers must stay
+// within 15% (codegen changes legitimately move them a little; a large
+// jump means the experiment changed meaning).
+func TestGoldenInstructionCounts(t *testing.T) {
+	golden := map[MatmulVariant]uint64{
+		Base:        21820,
+		Copy:        23420,
+		Distributed: 31660,
+		DistCopy:    33580,
+		Tiled:       85052,
+	}
+	for v, want := range golden {
+		res := runVariant(t, v, 16)
+		got := res.Stats.Retired
+		lo, hi := want*85/100, want*115/100
+		if got < lo || got > hi {
+			t.Errorf("%s retired %d, recorded %d (±15%%): update EXPERIMENTS.md",
+				v, got, want)
+		}
+	}
+}
+
+// The same program produces the same Z on every machine size that fits
+// it (here: base for 16 harts run on 4 cores vs the same image on a
+// bigger 8-core machine) — timing changes, semantics do not.
+func TestResultIndependentOfMachineSize(t *testing.T) {
+	prog, err := BuildMatmul(Base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{4, 8} {
+		cfg := lbp.DefaultConfig(cores)
+		cfg.Mem.SharedBytes = SharedBankBytes(16)
+		m := lbp.New(cfg)
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(MaxMatmulCycles(16)); err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		if err := VerifyMatmul(m, prog, Base, 16); err != nil {
+			t.Errorf("%d cores: %v", cores, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package workloads
+
+import "fmt"
+
+// SensorFusionSource generates the Figure 16 program: `rounds` iterations
+// of a parallel-sections team in which four harts each poll one sensor
+// port, followed by a sequential fusion written to the actuator. The
+// sensors may respond in any (non-deterministic) order; the static
+// position of the reads fixes the semantics, so the fused output is
+// deterministic even though the run's cycle count is not.
+//
+// The machine-side devices (lbp.Sensor, lbp.Actuator) attach to the
+// sflag/sval and factuator/aseq globals; resolve their addresses from the
+// assembled program's symbol table.
+func SensorFusionSource(rounds int) string {
+	return fmt.Sprintf(`/* sensor fusion, Figure 16 */
+#include <det_omp.h>
+#define ROUNDS %d
+
+int sflag[4];
+int sval[4];
+int s[4];
+int round;
+int factuator;
+int aseq;
+
+void get_sensor(int i) {
+	while (lbp_poll(&sflag[i]) <= round) {}
+	s[i] = sval[i];
+}
+
+void main() {
+	for (round = 0; round < ROUNDS; round++) {
+		#pragma omp parallel sections
+		{
+			#pragma omp section
+			get_sensor(0);
+			#pragma omp section
+			get_sensor(1);
+			#pragma omp section
+			get_sensor(2);
+			#pragma omp section
+			get_sensor(3);
+		}
+		factuator = (s[0] + s[1] + s[2] + s[3]) / 4;
+		aseq = round + 1;
+	}
+}
+`, rounds)
+}

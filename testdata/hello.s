@@ -1,0 +1,11 @@
+# Minimal bare-metal LBP program: store 42 and exit (Figure 6 protocol).
+main:
+	la a0, out
+	li a1, 42
+	sw a1, 0(a0)
+	li ra, 0
+	li t0, -1
+	p_ret
+	.data
+out:
+	.word 0

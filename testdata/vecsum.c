@@ -1,0 +1,25 @@
+/* Sample Deterministic OpenMP program: parallel vector sum with a
+   reduction over the backward line. Used by the CLI tests and as a
+   starting point for experiments (see README). */
+#include <det_omp.h>
+#define NUM_HART 8
+#define N 64
+
+int data[N] = {[0 ... 63] = 2};
+int total;
+
+void main() {
+	int t;
+	omp_set_num_threads(NUM_HART);
+	total = 0;
+	#pragma omp parallel for reduction(+:total)
+	for (t = 0; t < NUM_HART; t++) {
+		int i;
+		int *p;
+		p = data + t * (N / NUM_HART);
+		for (i = 0; i < N / NUM_HART; i++) {
+			total += *p;
+			p = p + 1;
+		}
+	}
+}
