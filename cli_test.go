@@ -5,6 +5,8 @@ package repro_test
 // testdata/.
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -115,6 +117,102 @@ func TestCLIBenchQuickFigures(t *testing.T) {
 	out = runTool(t, bench, "-fig", "locality")
 	if !strings.Contains(out, "true") {
 		t.Errorf("locality output:\n%s", out)
+	}
+}
+
+// TestCLIBenchUnknownFig: a typo'd -fig must not silently run nothing and
+// exit 0; it lists the valid experiments and exits 2.
+func TestCLIBenchUnknownFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	out, err := exec.Command(bench, "-fig", "22").CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("-fig 22: err = %v, want exit code 2\n%s", err, out)
+	}
+	for _, want := range []string{"unknown -fig", "19", "response", "locality"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("error message missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIBenchParallelIdentical: the same figure run sequentially and on a
+// worker pool must emit byte-identical JSON rows (digests included), and
+// both runs must leave a parseable BENCH_fig19.json behind.
+func TestCLIBenchParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	outputs := make(map[string][]byte)
+	for _, par := range []string{"1", "0"} {
+		cmd := exec.Command(bench, "-fig", "19", "-json", "-parallel", par, "-outdir", dir)
+		cmd.Stderr = nil
+		stdout, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("-parallel %s: %v", par, err)
+		}
+		outputs[par] = stdout
+	}
+	if string(outputs["1"]) != string(outputs["0"]) {
+		t.Errorf("-parallel 0 JSON differs from -parallel 1:\n%s\n---\n%s", outputs["0"], outputs["1"])
+	}
+	var rec struct {
+		Figure int `json:"figure"`
+		Rows   []struct {
+			Variant string `json:"Variant"`
+			Cycles  uint64 `json:"Cycles"`
+			Digest  uint64 `json:"Digest"`
+		} `json:"rows"`
+		WallTimeSec float64 `json:"wallTimeSec"`
+		Host        struct {
+			NumCPU    int    `json:"numCPU"`
+			GoVersion string `json:"goVersion"`
+		} `json:"host"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fig19.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("BENCH_fig19.json: %v", err)
+	}
+	if rec.Figure != 19 || len(rec.Rows) != 5 {
+		t.Errorf("record: figure %d, %d rows", rec.Figure, len(rec.Rows))
+	}
+	for _, r := range rec.Rows {
+		if r.Cycles == 0 || r.Digest == 0 {
+			t.Errorf("row %s: cycles %d digest %#x", r.Variant, r.Cycles, r.Digest)
+		}
+	}
+	if rec.WallTimeSec <= 0 || rec.Host.NumCPU < 1 || rec.Host.GoVersion == "" {
+		t.Errorf("host/wall metadata incomplete: %+v", rec)
+	}
+}
+
+// TestCLIRunBankValidation: -bank promises a power of two; reject the rest.
+func TestCLIRunBankValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	for _, bad := range []string{"12345", "0", "4294967296"} {
+		out, err := exec.Command(lbprun, "-bank", bad, "testdata/hello.s").CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("-bank %s: err = %v, want exit code 2\n%s", bad, err, out)
+		}
+	}
+	// a valid power of two still runs
+	out := runTool(t, lbprun, "-cores", "1", "-bank", "32768", "testdata/hello.s")
+	if !strings.Contains(out, "halt:     exit") {
+		t.Errorf("valid -bank run: %s", out)
 	}
 }
 

@@ -2,12 +2,21 @@
 // (the five matrix multiplication versions on 4-, 16- and 64-core LBP
 // machines, with the Xeon-Phi-like model on Figure 21) and the companion
 // experiments of DESIGN.md: cycle determinism (det), latency hiding vs
-// hart count (harts), deterministic I/O (io) and two-phase locality
-// (locality).
+// hart count (harts), deterministic I/O (io), two-phase locality
+// (locality), the design-parameter sweeps (ablate), the Figure 15
+// multi-chip lines (chips) and the input-to-actuation sweep (response).
+//
+// Independent simulations (matmul variants, sweep points, determinism
+// repeats) fan out across -parallel worker goroutines; each simulated
+// machine stays single-threaded, so every figure row and trace digest is
+// identical for any -parallel value. The matmul figures additionally
+// record a machine-readable BENCH_fig<N>.json (rows, wall time, host
+// info) next to -outdir so the performance trajectory can be tracked
+// across changes.
 //
 // Usage:
 //
-//	lbp-bench -fig 19|20|21|det|harts|io|locality|all
+//	lbp-bench [-parallel N] [-json] [-outdir DIR] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
 package main
 
 import (
@@ -15,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/asm"
@@ -25,21 +37,36 @@ import (
 	"repro/internal/workloads"
 )
 
+// figNames lists the valid -fig values in run order.
+var figNames = []string{"19", "20", "21", "det", "harts", "io", "locality", "ablate", "chips", "response"}
+
 func main() {
-	fig := flag.String("fig", "all", "which figure/experiment to run: 19|20|21|det|harts|io|locality|ablate|chips|response|all")
+	fig := flag.String("fig", "all", "which figure/experiment to run: "+strings.Join(figNames, "|")+"|all")
 	asJSON := flag.Bool("json", false, "emit matmul figure rows as JSON instead of tables")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
+	outdir := flag.String("outdir", ".", "directory receiving the BENCH_fig<N>.json records")
 	flag.Parse()
 	jsonMode = *asJSON
+	benchDir = *outdir
+	figures.Parallelism = *parallel
+	matched := false
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		matched = true
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "lbp-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		// In JSON mode stdout carries only machine-readable rows (so two
+		// runs diff byte-identically); progress goes to stderr.
+		progress := os.Stdout
+		if jsonMode {
+			progress = os.Stderr
+		}
+		fmt.Fprintf(progress, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	run("19", func() error { return matmulFigure(16) })
 	run("20", func() error { return matmulFigure(64) })
@@ -51,19 +78,79 @@ func main() {
 	run("ablate", designAblations)
 	run("chips", chips)
 	run("response", response)
+	if !matched {
+		fmt.Fprintf(os.Stderr, "lbp-bench: unknown -fig %q (valid: %s, all)\n",
+			*fig, strings.Join(figNames, ", "))
+		os.Exit(2)
+	}
 }
 
-var jsonMode bool
+var (
+	jsonMode bool
+	benchDir string
+)
+
+// benchRecord is the persisted, machine-readable form of one matmul
+// figure run: the figure rows plus enough host context to compare wall
+// times across changes. Rows and digests are deterministic; wall time and
+// host fields are the only parts expected to differ between hosts.
+type benchRecord struct {
+	Figure      int                 `json:"figure"`
+	Rows        []figures.MatmulRow `json:"rows"`
+	Phi         *phimodel.Result    `json:"xeonPhiModel,omitempty"`
+	WallTimeSec float64             `json:"wallTimeSec"`
+	Parallel    int                 `json:"parallel"` // the -parallel setting
+	Host        hostInfo            `json:"host"`
+	GeneratedAt string              `json:"generatedAt"`
+}
+
+type hostInfo struct {
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"goVersion"`
+}
+
+// writeBenchRecord saves BENCH_fig<N>.json into benchDir.
+func writeBenchRecord(figNo int, rows []figures.MatmulRow, phi *phimodel.Result, wall time.Duration) error {
+	rec := benchRecord{
+		Figure:      figNo,
+		Rows:        rows,
+		Phi:         phi,
+		WallTimeSec: wall.Seconds(),
+		Parallel:    figures.Parallelism,
+		Host: hostInfo{
+			GoOS:       runtime.GOOS,
+			GoArch:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(benchDir, fmt.Sprintf("BENCH_fig%d.json", figNo))
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func matmulFigure(h int) error {
+	start := time.Now()
 	rows, err := figures.RunMatmulFigure(h)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	var phi *phimodel.Result
 	if h == 256 {
 		r := phimodel.Default().TiledMatmul(256)
 		phi = &r
+	}
+	if err := writeBenchRecord(figures.FigureForHarts(h), rows, phi, wall); err != nil {
+		return err
 	}
 	if jsonMode {
 		enc := json.NewEncoder(os.Stdout)

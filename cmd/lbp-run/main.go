@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	lbp-run [-cores N] [-max CYCLES] [-trace] [-digest] file.{c,s,img}
+//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-digest] [-tail N] [-percore] file.{c,s,img}
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -30,6 +31,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	// The flag help promises a power of two; enforce it (and the uint32
+	// address-space bound) instead of silently truncating the bank size.
+	if *bank == 0 || *bank > math.MaxUint32 || *bank&(*bank-1) != 0 {
+		fmt.Fprintf(os.Stderr, "lbp-run: -bank %d must be a power of two that fits in 32 bits\n", *bank)
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -69,14 +76,15 @@ func main() {
 	}
 	fmt.Printf("harts:    %d of %d retired instructions\n", busy, len(st.PerHart))
 	if *perCore {
+		hpc := lbp.HartsPerCore
 		for c := 0; c < *cores; c++ {
 			var sum uint64
-			for h := 0; h < 4; h++ {
-				sum += st.PerHart[4*c+h]
+			for h := 0; h < hpc; h++ {
+				sum += st.PerHart[hpc*c+h]
 			}
 			fmt.Printf("core %2d:  retired=%d ipc=%.2f (harts %v)\n",
 				c, sum, float64(sum)/float64(st.Cycles),
-				st.PerHart[4*c:4*c+4])
+				st.PerHart[hpc*c:hpc*(c+1)])
 		}
 	}
 	if rec != nil {

@@ -5,120 +5,123 @@ import (
 	"strings"
 
 	"repro/internal/lbp"
+	"repro/internal/runner"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 // Design ablations (E8+): measure how the paper's architectural choices
 // affect the headline experiment. Each ablation reruns a matmul variant
-// with one machine parameter changed.
+// with one machine parameter changed. The sweep points are independent
+// machines, so each sweep compiles its program once and fans the
+// simulations across the worker pool (see Parallelism).
 
-// AblationPoint is one (configuration, measurement) pair.
+// AblationPoint is one (configuration, measurement) pair. Digest is the
+// event-trace digest of the run, so sweep results can be compared exactly
+// across worker counts and across PRs.
 type AblationPoint struct {
 	Label   string
 	Cycles  uint64
 	Retired uint64
 	IPC     float64
+	Digest  uint64
 }
 
-// runWith runs variant v at h harts on a machine derived from the
-// standard experiment machine by mutate.
-func runWith(v workloads.MatmulVariant, h int, label string, mutate func(*lbp.Config)) (AblationPoint, error) {
+// cfgPoint is one sweep point: a label and a machine-config mutation.
+type cfgPoint struct {
+	label  string
+	mutate func(*lbp.Config)
+}
+
+// runPoints builds variant v at h harts once, then runs one machine per
+// sweep point. mutate must only touch the fresh Config it is handed.
+func runPoints(v workloads.MatmulVariant, h int, points []cfgPoint) ([]AblationPoint, error) {
 	prog, err := workloads.BuildMatmul(v, h)
 	if err != nil {
-		return AblationPoint{}, err
+		return nil, err
 	}
-	cfg := lbp.DefaultConfig(h / 4)
-	cfg.Mem.SharedBytes = workloads.SharedBankBytes(h)
-	mutate(&cfg)
-	m := lbp.New(cfg)
-	if err := m.LoadProgram(prog); err != nil {
-		return AblationPoint{}, err
-	}
-	res, err := m.Run(workloads.MaxMatmulCycles(h))
-	if err != nil {
-		return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", label, err)
-	}
-	if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
-		return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", label, err)
-	}
-	return AblationPoint{
-		Label:   label,
-		Cycles:  res.Stats.Cycles,
-		Retired: res.Stats.Retired,
-		IPC:     res.Stats.IPC(),
-	}, nil
+	return runner.Map(Parallelism, len(points), func(i int) (AblationPoint, error) {
+		pt := points[i]
+		cfg := lbp.DefaultConfig(h / 4)
+		cfg.Mem.SharedBytes = workloads.SharedBankBytes(h)
+		pt.mutate(&cfg)
+		m := lbp.New(cfg)
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if err := m.LoadProgram(prog); err != nil {
+			return AblationPoint{}, err
+		}
+		res, err := m.Run(workloads.MaxMatmulCycles(h))
+		if err != nil {
+			return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", pt.label, err)
+		}
+		if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
+			return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", pt.label, err)
+		}
+		return AblationPoint{
+			Label:   pt.label,
+			Cycles:  res.Stats.Cycles,
+			Retired: res.Stats.Retired,
+			IPC:     res.Stats.IPC(),
+			Digest:  rec.Digest(),
+		}, nil
+	})
 }
 
 // RunHopLatAblation sweeps the per-link router latency: LBP's tree must
 // keep remote latency low enough for the 1-deep result buffers to hide.
 func RunHopLatAblation(v workloads.MatmulVariant, h int, hops []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []cfgPoint
 	for _, hop := range hops {
 		hop := hop
-		p, err := runWith(v, h, fmt.Sprintf("hop=%d", hop), func(c *lbp.Config) {
+		points = append(points, cfgPoint{fmt.Sprintf("hop=%d", hop), func(c *lbp.Config) {
 			c.Mem.HopLat = hop
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		}})
 	}
-	return out, nil
+	return runPoints(v, h, points)
 }
 
 // RunBankLatAblation sweeps the shared-bank access latency.
 func RunBankLatAblation(v workloads.MatmulVariant, h int, lats []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []cfgPoint
 	for _, lat := range lats {
 		lat := lat
-		p, err := runWith(v, h, fmt.Sprintf("bankLat=%d", lat), func(c *lbp.Config) {
+		points = append(points, cfgPoint{fmt.Sprintf("bankLat=%d", lat), func(c *lbp.Config) {
 			c.Mem.SharedLat = lat
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		}})
 	}
-	return out, nil
+	return runPoints(v, h, points)
 }
 
 // RunMemOrderAblation compares the strict per-hart memory issue order
 // with fully relaxed issue (the paper's bare hardware; safe here because
 // the matmul kernels have no same-address hazards inside a hart).
 func RunMemOrderAblation(v workloads.MatmulVariant, h int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []cfgPoint
 	for _, strict := range []bool{true, false} {
 		strict := strict
 		label := "relaxed"
 		if strict {
 			label = "strict"
 		}
-		p, err := runWith(v, h, label, func(c *lbp.Config) {
+		points = append(points, cfgPoint{label, func(c *lbp.Config) {
 			c.StrictMemOrder = strict
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		}})
 	}
-	return out, nil
+	return runPoints(v, h, points)
 }
 
 // RunFULatAblation sweeps the divider latency to show it is off the
 // critical path of the matmul (no divisions in the inner loops).
 func RunFULatAblation(v workloads.MatmulVariant, h int, divLats []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []cfgPoint
 	for _, d := range divLats {
 		d := d
-		p, err := runWith(v, h, fmt.Sprintf("div=%d", d), func(c *lbp.Config) {
+		points = append(points, cfgPoint{fmt.Sprintf("div=%d", d), func(c *lbp.Config) {
 			c.DivLat = d
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		}})
 	}
-	return out, nil
+	return runPoints(v, h, points)
 }
 
 // FormatAblationPoints renders one ablation table.
@@ -136,21 +139,17 @@ func FormatAblationPoints(title string, pts []AblationPoint) string {
 // count split into chips (Figure 15): the team spans the chip edges, the
 // program result is unchanged, the cycles grow with the edge latency.
 func RunChipAblation(v workloads.MatmulVariant, h int, chipSizes []int, chipHop int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []cfgPoint
 	for _, cs := range chipSizes {
 		cs := cs
 		label := "monolithic"
 		if cs > 0 && cs < h/4 {
 			label = fmt.Sprintf("chips-of-%d", cs)
 		}
-		p, err := runWith(v, h, label, func(c *lbp.Config) {
+		points = append(points, cfgPoint{label, func(c *lbp.Config) {
 			c.Mem.CoresPerChip = cs
 			c.Mem.ChipHopLat = chipHop
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		}})
 	}
-	return out, nil
+	return runPoints(v, h, points)
 }

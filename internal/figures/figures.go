@@ -15,11 +15,27 @@ import (
 	"repro/internal/cc"
 	"repro/internal/lbp"
 	"repro/internal/phimodel"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
-// MatmulRow is one bar group of Figures 19-21.
+// Parallelism is the worker count the figure runners hand to
+// internal/runner when fanning out independent simulations: 1 (the
+// default) runs strictly sequentially, 0 uses all host CPUs, any other
+// value caps the pool at that many goroutines.
+//
+// Parallelism never reaches inside a simulated machine — each worker
+// builds and runs its own single-threaded lbp.Machine — so results,
+// cycle counts and event-trace digests are identical for every setting
+// (asserted by the equivalence tests in parallel_test.go). Programs are
+// compiled before the fan-out; workers only simulate.
+var Parallelism = 1
+
+// MatmulRow is one bar group of Figures 19-21. Digest and Events identify
+// the full event trace of the run (experiment E4): two runs of the same
+// variant and machine size must agree on them exactly, regardless of the
+// host-side worker count that produced the row.
 type MatmulRow struct {
 	Variant workloads.MatmulVariant
 	Harts   int
@@ -28,6 +44,8 @@ type MatmulRow struct {
 	IPC     float64
 	Remote  uint64 // routed shared accesses
 	Local   uint64 // local-bank + own-shared-bank accesses
+	Digest  uint64 // event-trace digest of the run
+	Events  uint64 // number of trace events folded into Digest
 }
 
 // RunMatmul builds, runs and verifies one variant at h harts.
@@ -36,7 +54,16 @@ func RunMatmul(v workloads.MatmulVariant, h int) (MatmulRow, error) {
 	if err != nil {
 		return MatmulRow{}, err
 	}
+	return runMatmulProg(prog, v, h)
+}
+
+// runMatmulProg runs a pre-assembled variant on a fresh machine with a
+// digest-only trace recorder attached. prog is only read, so concurrent
+// calls may share it.
+func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulRow, error) {
 	m := workloads.NewMatmulMachine(h)
+	rec := trace.New(0)
+	m.SetTrace(rec)
 	if err := m.LoadProgram(prog); err != nil {
 		return MatmulRow{}, err
 	}
@@ -55,20 +82,26 @@ func RunMatmul(v workloads.MatmulVariant, h int) (MatmulRow, error) {
 		IPC:     res.Stats.IPC(),
 		Remote:  res.Mem.SharedRemote,
 		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,
+		Digest:  rec.Digest(),
+		Events:  rec.Count(),
 	}, nil
 }
 
-// RunMatmulFigure runs all five variants for one machine size.
+// RunMatmulFigure runs all five variants for one machine size. The
+// variants compile sequentially, then simulate on the Parallelism-sized
+// worker pool; rows come back in Variants order either way.
 func RunMatmulFigure(h int) ([]MatmulRow, error) {
-	var rows []MatmulRow
-	for _, v := range workloads.Variants {
-		r, err := RunMatmul(v, h)
+	progs := make([]*asm.Program, len(workloads.Variants))
+	for i, v := range workloads.Variants {
+		p, err := workloads.BuildMatmul(v, h)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, r)
+		progs[i] = p
 	}
-	return rows, nil
+	return runner.Map(Parallelism, len(progs), func(i int) (MatmulRow, error) {
+		return runMatmulProg(progs[i], workloads.Variants[i], h)
+	})
 }
 
 // FigureForHarts maps a hart count to the paper's figure number.
@@ -129,26 +162,38 @@ type DetReport struct {
 }
 
 // RunDeterminism runs a variant `n` times with full event tracing and
-// compares the digests and cycle counts.
+// compares the digests and cycle counts. The repeats are independent
+// whole-machine simulations, so they fan out across the worker pool; the
+// comparison happens after all runs, in run order.
 func RunDeterminism(v workloads.MatmulVariant, h, n int) (DetReport, error) {
 	rep := DetReport{Variant: v, Harts: h, Runs: n, AllEqual: true}
 	prog, err := workloads.BuildMatmul(v, h)
 	if err != nil {
 		return rep, err
 	}
-	for i := 0; i < n; i++ {
+	type detRun struct {
+		digest uint64
+		cycles uint64
+	}
+	runs, err := runner.Map(Parallelism, n, func(int) (detRun, error) {
 		m := workloads.NewMatmulMachine(h)
 		rec := trace.New(0)
 		m.SetTrace(rec)
 		if err := m.LoadProgram(prog); err != nil {
-			return rep, err
+			return detRun{}, err
 		}
 		res, err := m.Run(workloads.MaxMatmulCycles(h))
 		if err != nil {
-			return rep, err
+			return detRun{}, err
 		}
-		rep.Digests = append(rep.Digests, rec.Digest())
-		rep.Cycles = append(rep.Cycles, res.Stats.Cycles)
+		return detRun{digest: rec.Digest(), cycles: res.Stats.Cycles}, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for i, r := range runs {
+		rep.Digests = append(rep.Digests, r.digest)
+		rep.Cycles = append(rep.Cycles, r.cycles)
 		if rep.Digests[i] != rep.Digests[0] || rep.Cycles[i] != rep.Cycles[0] {
 			rep.AllEqual = false
 		}
@@ -202,9 +247,10 @@ void main() {
 
 // RunHartAblation measures core IPC with 1..4 active harts (E5: the
 // paper's claim that ~1 IPC/core needs all four harts; a single hart is
-// limited by the fetch suspension after every instruction).
+// limited by the fetch suspension after every instruction). The four
+// team sizes compile sequentially and simulate in parallel.
 func RunHartAblation(iters int) ([]AblationRow, error) {
-	var rows []AblationRow
+	progs := make([]*asm.Program, lbp.HartsPerCore)
 	for k := 1; k <= lbp.HartsPerCore; k++ {
 		asmText, err := cc.BuildProgram(ablationSource(k, iters), cc.DefaultOptions())
 		if err != nil {
@@ -214,22 +260,25 @@ func RunHartAblation(iters int) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		progs[k-1] = prog
+	}
+	return runner.Map(Parallelism, len(progs), func(i int) (AblationRow, error) {
+		k := i + 1
 		m := lbp.New(lbp.DefaultConfig(1))
-		if err := m.LoadProgram(prog); err != nil {
-			return nil, err
+		if err := m.LoadProgram(progs[i]); err != nil {
+			return AblationRow{}, err
 		}
 		res, err := m.Run(uint64(200*iters*k + 1_000_000))
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Harts:   k,
 			Cycles:  res.Stats.Cycles,
 			Retired: res.Stats.Retired,
 			IPC:     res.Stats.IPC(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatAblation renders E5.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/lbp"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -44,11 +45,13 @@ func RunResponseSweep(phases int) (*ResponseReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &ResponseReport{Min: ^uint64(0)}
-	for p := 0; p < phases; p++ {
+	// Each phase is an independent machine (own devices, own run), so the
+	// sweep fans out across the worker pool; the min/max fold happens
+	// after all phases, in phase order.
+	samples, err := runner.Map(Parallelism, phases, func(p int) (uint64, error) {
 		m := lbp.New(lbp.DefaultConfig(1))
 		if err := m.LoadProgram(prog); err != nil {
-			return nil, err
+			return 0, err
 		}
 		// three sensors answer early; the last one arrives late, at a
 		// phase-swept cycle, so the fusion waits only on it
@@ -70,13 +73,18 @@ func RunResponseSweep(phases int) (*ResponseReport, error) {
 		}
 		m.AddDevice(act)
 		if _, err := m.Run(50_000_000); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if len(act.Writes) != 1 {
-			return nil, fmt.Errorf("figures: response sweep: %d actuator writes", len(act.Writes))
+			return 0, fmt.Errorf("figures: response sweep: %d actuator writes", len(act.Writes))
 		}
-		d := act.Writes[0].Cycle - last
-		rep.Samples = append(rep.Samples, d)
+		return act.Writes[0].Cycle - last, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ResponseReport{Min: ^uint64(0), Samples: samples}
+	for _, d := range samples {
 		if d < rep.Min {
 			rep.Min = d
 		}

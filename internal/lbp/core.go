@@ -13,6 +13,7 @@ type core struct {
 	m     *Machine
 	idx   int
 	harts [HartsPerCore]*hart
+	busy  int // harts not in hartFree state (maintained by hart.setState)
 
 	fetchRR, renameRR, issueRR, wbRR, commitRR int
 }
@@ -28,18 +29,11 @@ func (c *core) step(now uint64) {
 	c.fetch(now)
 }
 
-// pick scans the harts with rotating priority and returns the first one
-// satisfying ok, updating the rotation pointer.
-func (c *core) pick(rr *int, ok func(h *hart) bool) *hart {
-	for i := 1; i <= HartsPerCore; i++ {
-		h := c.harts[(*rr+i)%HartsPerCore]
-		if ok(h) {
-			*rr = h.idx
-			return h
-		}
-	}
-	return nil
-}
+// Each stage scans the harts with rotating priority (deterministic round
+// robin) and takes the first eligible one, updating the rotation pointer.
+// The selection loops are written out per stage, without predicate
+// closures, to keep the per-cycle hot path free of function values and
+// allocations.
 
 // ---- fetch stage ----------------------------------------------------
 
@@ -49,15 +43,19 @@ func (c *core) pick(rr *int, ok func(h *hart) bool) *hart {
 // execution for branches and indirect jumps) — the paper hides this
 // latency with multithreading instead of prediction.
 func (c *core) fetch(now uint64) {
-	h := c.pick(&c.fetchRR, func(h *hart) bool {
-		if h.state != hartRunning || !h.pcValid || h.pcReadyCycle > now || h.ib != nil {
-			return false
+	var h *hart
+	for i := 1; i <= HartsPerCore; i++ {
+		cand := c.harts[(c.fetchRR+i)%HartsPerCore]
+		if cand.state != hartRunning || !cand.pcValid || cand.pcReadyCycle > now || cand.ib != nil {
+			continue
 		}
-		if h.syncmWait && h.inflightMem > 0 {
-			return false
+		if cand.syncmWait && cand.inflightMem > 0 {
+			continue
 		}
-		return true
-	})
+		h = cand
+		c.fetchRR = cand.idx
+		break
+	}
 	if h == nil {
 		return
 	}
@@ -86,9 +84,16 @@ func (c *core) fetch(now uint64) {
 // and reorder buffer, records its source dependencies and produces the
 // next pc when it is knowable at decode.
 func (c *core) rename(now uint64) {
-	h := c.pick(&c.renameRR, func(h *hart) bool {
-		return h.ib != nil && !h.itFull(&c.m.cfg) && !h.robFull(&c.m.cfg)
-	})
+	var h *hart
+	for i := 1; i <= HartsPerCore; i++ {
+		cand := c.harts[(c.renameRR+i)%HartsPerCore]
+		if cand.ib == nil || cand.itFull(&c.m.cfg) || cand.robFull(&c.m.cfg) {
+			continue
+		}
+		h = cand
+		c.renameRR = cand.idx
+		break
+	}
 	if h == nil {
 		return
 	}
@@ -338,9 +343,16 @@ func (c *core) execStore(h *hart, u *uop, now uint64) {
 // writeback retires one completed execution per cycle: the result buffer
 // value is written to the register file and dependents are woken.
 func (c *core) writeback(now uint64) {
-	h := c.pick(&c.wbRR, func(h *hart) bool {
-		return h.exec != nil && !h.exec.memWait && h.execReadyAt <= now
-	})
+	var h *hart
+	for i := 1; i <= HartsPerCore; i++ {
+		cand := c.harts[(c.wbRR+i)%HartsPerCore]
+		if cand.exec == nil || cand.exec.memWait || cand.execReadyAt > now {
+			continue
+		}
+		h = cand
+		c.wbRR = cand.idx
+		break
+	}
 	if h == nil {
 		return
 	}
@@ -364,16 +376,21 @@ func (c *core) writeback(now uint64) {
 // been received and the hart's memory accesses have drained — this is the
 // hardware barrier between a parallel section and its sequel.
 func (c *core) commit(now uint64) {
-	h := c.pick(&c.commitRR, func(h *hart) bool {
-		if len(h.rob) == 0 || !h.rob[0].done {
-			return false
+	var h *hart
+	for i := 1; i <= HartsPerCore; i++ {
+		cand := c.harts[(c.commitRR+i)%HartsPerCore]
+		if len(cand.rob) == 0 || !cand.rob[0].done {
+			continue
 		}
-		u := h.rob[0]
-		if u.isRet {
-			return (!h.hasPred || h.predSignal) && h.inflightMem == 0 && h.exec == nil
+		if u := cand.rob[0]; u.isRet {
+			if (cand.hasPred && !cand.predSignal) || cand.inflightMem > 0 || cand.exec != nil {
+				continue
+			}
 		}
-		return true
-	})
+		h = cand
+		c.commitRR = cand.idx
+		break
+	}
 	if h == nil {
 		return
 	}

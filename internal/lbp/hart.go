@@ -102,8 +102,32 @@ func (h *hart) freeUop(u *uop) {
 	}
 }
 
+// setState transitions the hart lifecycle state, maintaining the owning
+// core's busy-hart count so the machine can skip fully-idle cores (the
+// active-core fast path; skipping is exact because every pipeline stage is
+// a no-op on a core whose harts are all free).
+func (h *hart) setState(s hartState) {
+	old := h.state
+	h.state = s
+	if (old == hartFree) == (s == hartFree) {
+		return
+	}
+	c := h.core
+	if s == hartFree {
+		c.busy--
+		if c.busy == 0 {
+			c.m.activeDirty = true
+		}
+	} else {
+		c.busy++
+		if c.busy == 1 {
+			c.m.activeDirty = true
+		}
+	}
+}
+
 func (h *hart) reset(cfg *Config) {
-	h.state = hartFree
+	h.setState(hartFree)
 	h.pc, h.pcValid, h.pcReadyCycle = 0, false, 0
 	h.syncmWait = false
 	h.regs = [32]uint32{}
@@ -123,7 +147,7 @@ func (h *hart) reset(cfg *Config) {
 // pointer set to the canonical initial value, waiting for a start pc.
 func (h *hart) allocate(cfg *Config, by uint32, now uint64) {
 	h.reset(cfg)
-	h.state = hartAllocated
+	h.setState(hartAllocated)
 	h.regs[2] = cfg.SPInit(h.idx)
 	h.hasPred = true
 	h.startedBy = by
@@ -132,7 +156,7 @@ func (h *hart) allocate(cfg *Config, by uint32, now uint64) {
 
 // start begins fetching at pc (delivered by a p_jalr/p_jal start message).
 func (h *hart) start(pc uint32, now uint64) {
-	h.state = hartRunning
+	h.setState(hartRunning)
 	h.pc = pc
 	h.pcValid = true
 	h.pcReadyCycle = now
@@ -141,7 +165,7 @@ func (h *hart) start(pc uint32, now uint64) {
 
 // free releases the hart for reallocation.
 func (h *hart) free(now uint64) {
-	h.state = hartFree
+	h.setState(hartFree)
 	h.pcValid = false
 	h.ib = nil
 	h.endingEpoch = now

@@ -16,6 +16,13 @@ type Machine struct {
 	cores []*core
 	harts []*hart // flat, index = global hart number
 
+	// Active-core fast path: only cores with at least one non-free hart
+	// are stepped. The list is kept in core-index order (so skipping is
+	// bit-identical to stepping every core: an all-free core's pipeline
+	// stages are no-ops) and rebuilt lazily on hart lifecycle edges.
+	active      []*core
+	activeDirty bool
+
 	cycle    uint64
 	running  bool
 	exited   bool
@@ -25,10 +32,18 @@ type Machine struct {
 
 	devices []Device
 	rec     *trace.Recorder
+	emit    emitFn // trace sink, never nil (no-op when tracing is off)
 
 	decoded []isa.Inst // predecoded code image, indexed by pc/4
 	stats   Stats
 }
+
+// emitFn receives one machine event. Keeping the disabled path behind a
+// function value instead of a per-event nil check makes event emission
+// branch-free in the pipeline hot loops.
+type emitFn func(kind trace.Kind, core, hartIdx int, value uint64)
+
+func noopEmit(trace.Kind, int, int, uint64) {}
 
 // Device models an external unit (sensor, actuator, timer) attached to
 // the machine. Step is called once per cycle before the cores.
@@ -66,8 +81,9 @@ func New(cfg Config) *Machine {
 		cfg.Mem.Cores = cfg.Cores
 	}
 	m := &Machine{
-		cfg: cfg,
-		Mem: mem.New(cfg.Mem),
+		cfg:  cfg,
+		Mem:  mem.New(cfg.Mem),
+		emit: noopEmit,
 	}
 	if cfg.LivelockWindow == 0 {
 		m.cfg.LivelockWindow = 100000
@@ -96,7 +112,19 @@ func New(cfg Config) *Machine {
 func (m *Machine) Config() Config { return m.cfg }
 
 // SetTrace attaches an event recorder (nil disables tracing).
-func (m *Machine) SetTrace(r *trace.Recorder) { m.rec = r }
+func (m *Machine) SetTrace(r *trace.Recorder) {
+	m.rec = r
+	if r == nil {
+		m.emit = noopEmit
+		return
+	}
+	m.emit = func(kind trace.Kind, core, hartIdx int, value uint64) {
+		r.Add(trace.Event{
+			Cycle: m.cycle, Core: uint16(core), Hart: uint8(hartIdx),
+			Kind: kind, Value: value,
+		})
+	}
+}
 
 // Trace returns the attached recorder, if any.
 func (m *Machine) Trace() *trace.Recorder { return m.rec }
@@ -128,12 +156,18 @@ func (m *Machine) Hart(gid uint32) *hart {
 }
 
 func (m *Machine) event(kind trace.Kind, core int, hartIdx int, value uint64) {
-	if m.rec != nil {
-		m.rec.Add(trace.Event{
-			Cycle: m.cycle, Core: uint16(core), Hart: uint8(hartIdx),
-			Kind: kind, Value: value,
-		})
+	m.emit(kind, core, hartIdx, value)
+}
+
+// rebuildActive refreshes the active-core list in core-index order.
+func (m *Machine) rebuildActive() {
+	m.active = m.active[:0]
+	for _, c := range m.cores {
+		if c.busy > 0 {
+			m.active = append(m.active, c)
+		}
 	}
+	m.activeDirty = false
 }
 
 // faultf records a machine fault and stops the run. Faults are
@@ -176,7 +210,7 @@ func (m *Machine) LoadProgram(p *asm.Program) error {
 	}
 	h0 := m.harts[0]
 	h0.reset(&m.cfg)
-	h0.state = hartRunning
+	h0.setState(hartRunning)
 	h0.pc = p.Entry
 	h0.pcValid = true
 	h0.regs[2] = m.cfg.SPInit(0)
@@ -210,7 +244,10 @@ func (m *Machine) Run(maxCycles uint64) (*Result, error) {
 		for _, d := range m.devices {
 			d.Step(m, m.cycle)
 		}
-		for _, c := range m.cores {
+		if m.activeDirty {
+			m.rebuildActive()
+		}
+		for _, c := range m.active {
 			c.step(m.cycle)
 		}
 		if m.cycle-m.progress > m.cfg.LivelockWindow {

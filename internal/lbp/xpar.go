@@ -219,7 +219,7 @@ func (m *Machine) doRet(h *hart, u *uop, now uint64) {
 	switch {
 	case ra == 0 && valid && home == self:
 		// ending type 2: keep the hart, waiting for a join address
-		h.state = hartWaitJoin
+		h.setState(hartWaitJoin)
 		h.pcValid = false
 	case ra == 0:
 		// ending type 1

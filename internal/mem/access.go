@@ -1,7 +1,5 @@
 package mem
 
-import "container/heap"
-
 // Width of a memory access in bytes.
 type Width uint8
 
@@ -19,28 +17,65 @@ type event struct {
 	run   func()
 }
 
+// eventQueue is a binary min-heap of events ordered by (cycle, seq). It is
+// implemented directly on the typed slice — not via container/heap — so
+// pushing and popping events, the per-cycle hot path of Step, never boxes
+// an event into an interface value (one heap allocation per transaction
+// otherwise).
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+// before reports whether event i orders before event j.
+func (q eventQueue) before(i, j int) bool {
 	if q[i].cycle != q[j].cycle {
 		return q[i].cycle < q[j].cycle
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure for GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.before(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 func (s *System) schedule(cycle uint64, run func()) {
 	s.seq++
-	heap.Push(&s.events, event{cycle: cycle, seq: s.seq, run: run})
+	s.events.push(event{cycle: cycle, seq: s.seq, run: run})
 	if len(s.events) > s.Stats.PeakPendingEvents {
 		s.Stats.PeakPendingEvents = len(s.events)
 	}
@@ -51,7 +86,7 @@ func (s *System) schedule(cycle uint64, run func()) {
 // loads observe stores served in earlier cycles.
 func (s *System) Step(now uint64) {
 	for len(s.events) > 0 && s.events[0].cycle <= now {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		e.run()
 	}
 }

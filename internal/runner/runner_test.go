@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var counts [50]atomic.Int32
+	_, err := Map(8, len(counts), func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Errorf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 20, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's", workers, err)
+		}
+	}
+}
+
+func TestMapErrorNilsResults(t *testing.T) {
+	got, err := Map(4, 5, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(3, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	if err := ForEach(3, 10, func(i int) error {
+		if i >= 5 {
+			return fmt.Errorf("e%d", i)
+		}
+		return nil
+	}); err == nil || err.Error() != "e5" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestMapSequentialParallelIdentical is the package-level statement of the
+// determinism contract: a pure job function yields bit-identical output
+// slices for any worker count.
+func TestMapSequentialParallelIdentical(t *testing.T) {
+	job := func(i int) (uint64, error) {
+		// small deterministic FNV-style mix
+		h := uint64(14695981039346656037)
+		for k := 0; k < 1000; k++ {
+			h ^= uint64(i + k)
+			h *= 1099511628211
+		}
+		return h, nil
+	}
+	seq, err := Map(1, 64, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 16} {
+		par, err := Map(workers, 64, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] differs", workers, i)
+			}
+		}
+	}
+}
