@@ -195,6 +195,130 @@ func TestCLIBenchParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestCLIRunStats: -stats prints the cycle-attribution report and
+// -chrome leaves a loadable trace-event JSON behind, without changing
+// the run (same digest as a plain run).
+func TestCLIRunStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	chromePath := filepath.Join(dir, "trace.json")
+	out := runTool(t, lbprun, "-cores", "2", "-digest", "-stats", "-chrome", chromePath, "testdata/vecsum.c")
+	for _, want := range []string{
+		"cycle attribution", "commit", "hart-free", "retired by class",
+		"stage occupancy", "link wait cycles", "memory latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+	if digestLine(t, out) != digestLine(t, runTool(t, lbprun, "-cores", "2", "-digest", "testdata/vecsum.c")) {
+		t.Error("-stats changed the event-trace digest")
+	}
+	data, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("-chrome trace is empty")
+	}
+}
+
+// TestCLIBenchPhasesValidation: a non-positive -phases is a usage error
+// (exit 2) before any simulation runs — pre-validation it would produce
+// a response report with a wrapped-around jitter of ~1.8e19 cycles.
+func TestCLIBenchPhasesValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	for _, bad := range []string{"0", "-5"} {
+		out, err := exec.Command(bench, "-fig", "response", "-phases", bad).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("-phases %s: err = %v, want exit code 2\n%s", bad, err, out)
+		}
+		if !strings.Contains(string(out), "must be positive") {
+			t.Errorf("-phases %s error message: %s", bad, out)
+		}
+	}
+	out := runTool(t, bench, "-fig", "response", "-phases", "4")
+	if !strings.Contains(out, "phases: 4") {
+		t.Errorf("-phases 4 output:\n%s", out)
+	}
+}
+
+// TestCLIBenchProfileRecord: -profile embeds the counter snapshot — with
+// per-stall-cause cycles and per-link-class waits — in BENCH_fig19.json.
+func TestCLIBenchProfileRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	cmd := exec.Command(bench, "-fig", "19", "-json", "-profile", "-outdir", dir)
+	cmd.Stderr = nil
+	if _, err := cmd.Output(); err != nil {
+		t.Fatalf("-profile run: %v", err)
+	}
+	var rec struct {
+		Profile bool `json:"profile"`
+		Rows    []struct {
+			Variant string `json:"Variant"`
+			Perf    *struct {
+				HartCycles   uint64 `json:"hartCycles"`
+				CommitCycles uint64 `json:"commitCycles"`
+				Stalls       []struct {
+					Name  string `json:"name"`
+					Value uint64 `json:"value"`
+				} `json:"stallCycles"`
+				LinkWait []struct {
+					Name  string `json:"name"`
+					Value uint64 `json:"value"`
+				} `json:"linkWaitCycles"`
+			} `json:"Perf"`
+		} `json:"rows"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fig19.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Profile || len(rec.Rows) != 5 {
+		t.Fatalf("record: profile=%v rows=%d", rec.Profile, len(rec.Rows))
+	}
+	for _, r := range rec.Rows {
+		if r.Perf == nil {
+			t.Fatalf("row %s: no perf snapshot", r.Variant)
+		}
+		var stalls, waits uint64
+		for _, s := range r.Perf.Stalls {
+			stalls += s.Value
+		}
+		for _, w := range r.Perf.LinkWait {
+			waits += w.Value
+		}
+		if r.Perf.CommitCycles+stalls != r.Perf.HartCycles {
+			t.Errorf("row %s: attribution not exact: %d + %d != %d",
+				r.Variant, r.Perf.CommitCycles, stalls, r.Perf.HartCycles)
+		}
+		if waits == 0 {
+			t.Errorf("row %s: no link-wait cycles recorded", r.Variant)
+		}
+	}
+}
+
 // TestCLIRunBankValidation: -bank promises a power of two; reject the rest.
 func TestCLIRunBankValidation(t *testing.T) {
 	if testing.Short() {

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/asm"
@@ -42,18 +43,37 @@ func main() {
 		}
 		return
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := prog.WriteImage(os.Stdout); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		return
 	}
-	if err := prog.WriteImage(w); err != nil {
+	f, err := os.Create(*out)
+	if err != nil {
 		fatal(err)
 	}
+	if err := writeImageTo(prog, f); err != nil {
+		fatal(err)
+	}
+}
+
+// imageWriter is the part of asm.Program that writeImageTo needs.
+type imageWriter interface {
+	WriteImage(w io.Writer) error
+}
+
+// writeImageTo writes the image and closes w, reporting the first error
+// of either step. An image written to a full disk often only fails at
+// Close — a deferred, unchecked Close would report success and leave a
+// truncated image behind.
+func writeImageTo(prog imageWriter, w io.WriteCloser) error {
+	werr := prog.WriteImage(w)
+	cerr := w.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func fatal(err error) {

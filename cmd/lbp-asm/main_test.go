@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// failingCloser counts bytes written successfully but fails at Close —
+// the signature of a file on a disk that fills while the OS flushes.
+type failingCloser struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (f *failingCloser) Write(p []byte) (int, error) { return f.buf.Write(p) }
+func (f *failingCloser) Close() error {
+	f.closed = true
+	return errors.New("close: no space left on device")
+}
+
+type failingWriter struct {
+	closed bool
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) { return 0, errors.New("write: broken pipe") }
+func (f *failingWriter) Close() error {
+	f.closed = true
+	return errors.New("close: also failed")
+}
+
+func testProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble("main:\n\tli t0, -1\n\tli ra, 0\n\tp_ret\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// Regression test: the image writer used `defer f.Close()`, so a Close
+// error (the only place a truncated image surfaces on some filesystems)
+// was silently dropped and lbp-asm exited 0 with a corrupt output file.
+func TestWriteImageToReportsCloseError(t *testing.T) {
+	prog := testProgram(t)
+	fc := &failingCloser{}
+	err := writeImageTo(prog, fc)
+	if err == nil {
+		t.Fatal("close error was dropped")
+	}
+	if !strings.Contains(err.Error(), "no space left") {
+		t.Errorf("err = %v, want the close error", err)
+	}
+	if !fc.closed {
+		t.Error("writer was not closed")
+	}
+	if fc.buf.Len() == 0 {
+		t.Error("image was never written")
+	}
+}
+
+// A write error takes precedence over a close error, and the writer is
+// still closed (no descriptor leak on the error path).
+func TestWriteImageToPrefersWriteError(t *testing.T) {
+	prog := testProgram(t)
+	fw := &failingWriter{}
+	err := writeImageTo(prog, fw)
+	if err == nil || !strings.Contains(err.Error(), "broken pipe") {
+		t.Errorf("err = %v, want the write error", err)
+	}
+	if !fw.closed {
+		t.Error("writer must be closed even when the write failed")
+	}
+}
+
+// The happy path round-trips: what writeImageTo emits, ReadImage accepts.
+func TestWriteImageToRoundTrip(t *testing.T) {
+	prog := testProgram(t)
+	var buf bytes.Buffer
+	if err := writeImageTo(prog, nopWriteCloser{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := asm.ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Text) != len(prog.Text) || got.Entry != prog.Entry {
+		t.Errorf("round trip mismatch: %d/%d words, entry %#x/%#x",
+			len(got.Text), len(prog.Text), got.Entry, prog.Entry)
+	}
+}
+
+type nopWriteCloser struct{ *bytes.Buffer }
+
+func (nopWriteCloser) Close() error { return nil }

@@ -16,7 +16,16 @@
 //
 // Usage:
 //
-//	lbp-bench [-parallel N] [-json] [-outdir DIR] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
+//	lbp-bench [-parallel N] [-json] [-outdir DIR] [-profile] [-phases N] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
+//
+// -profile embeds a deterministic performance-counter snapshot (cycle
+// attribution by stall cause, retired mix, stage occupancy, per-link-class
+// wait cycles, local/remote latency histograms) in every matmul figure row
+// and therefore in the BENCH_fig<N>.json records. Counters never feed back
+// into simulated timing, so rows and digests are byte-identical with and
+// without -profile, for any -parallel value.
+//
+// -phases sets the arrival-phase count of the -fig response sweep.
 package main
 
 import (
@@ -45,10 +54,21 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit matmul figure rows as JSON instead of tables")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	outdir := flag.String("outdir", ".", "directory receiving the BENCH_fig<N>.json records")
+	profile := flag.Bool("profile", false, "embed deterministic perf-counter snapshots in matmul rows and BENCH records")
+	phases := flag.Int("phases", 24, "arrival phases for the -fig response sweep (must be positive)")
 	flag.Parse()
+	// Reject a bad sweep size here, before any figure runs: a non-positive
+	// phase count cannot produce a response report (RunResponseSweep also
+	// guards this; the flag layer turns it into a usage error).
+	if *phases <= 0 {
+		fmt.Fprintf(os.Stderr, "lbp-bench: -phases %d must be positive\n", *phases)
+		os.Exit(2)
+	}
 	jsonMode = *asJSON
 	benchDir = *outdir
+	responsePhases = *phases
 	figures.Parallelism = *parallel
+	figures.Profile = *profile
 	matched := false
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -86,8 +106,9 @@ func main() {
 }
 
 var (
-	jsonMode bool
-	benchDir string
+	jsonMode       bool
+	benchDir       string
+	responsePhases int
 )
 
 // benchRecord is the persisted, machine-readable form of one matmul
@@ -100,6 +121,7 @@ type benchRecord struct {
 	Phi         *phimodel.Result    `json:"xeonPhiModel,omitempty"`
 	WallTimeSec float64             `json:"wallTimeSec"`
 	Parallel    int                 `json:"parallel"` // the -parallel setting
+	Profile     bool                `json:"profile"`  // rows carry perf snapshots
 	Host        hostInfo            `json:"host"`
 	GeneratedAt string              `json:"generatedAt"`
 }
@@ -120,6 +142,7 @@ func writeBenchRecord(figNo int, rows []figures.MatmulRow, phi *phimodel.Result,
 		Phi:         phi,
 		WallTimeSec: wall.Seconds(),
 		Parallel:    figures.Parallelism,
+		Profile:     figures.Profile,
 		Host: hostInfo{
 			GoOS:       runtime.GOOS,
 			GoArch:     runtime.GOARCH,
@@ -227,7 +250,7 @@ func designAblations() error {
 
 // response runs the E10 input-to-actuation sweep.
 func response() error {
-	rep, err := figures.RunResponseSweep(24)
+	rep, err := figures.RunResponseSweep(responsePhases)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,18 @@
 //
 // Usage:
 //
-//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-digest] [-tail N] [-percore] file.{c,s,img}
+//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-digest] [-tail N] [-percore] [-stats] [-chrome FILE] file.{c,s,img}
+//
+// -stats enables the deterministic performance counters and prints a
+// cycle-attribution report after the run: where every hart-cycle went
+// (commit or a named stall cause), the retired-instruction mix, pipeline
+// stage occupancy, per-link-class wait cycles and local/remote memory
+// latency histograms. Profiling never changes the run itself — cycle
+// counts and digests are identical with and without -stats.
+//
+// -chrome FILE exports the retained trace events (see -tail; a default
+// ring is kept if -tail is 0) as Chrome trace-event JSON for
+// chrome://tracing or Perfetto, with hart lifetimes shown as spans.
 package main
 
 import (
@@ -27,6 +38,8 @@ func main() {
 	digest := flag.Bool("digest", false, "print the deterministic event-trace digest")
 	perCore := flag.Bool("percore", false, "print per-core retired instructions and IPC")
 	tail := flag.Int("tail", 0, "print the last N trace events")
+	stats := flag.Bool("stats", false, "enable performance counters and print the cycle-attribution report")
+	chrome := flag.String("chrome", "", "write the retained trace events as Chrome trace-event JSON to `file`")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
@@ -48,9 +61,16 @@ func main() {
 	cfg.Mem.SharedBytes = uint32(*bank)
 	m := lbp.New(cfg)
 	var rec *trace.Recorder
-	if *digest || *tail > 0 {
-		rec = trace.New(*tail)
+	if *digest || *tail > 0 || *chrome != "" {
+		ring := *tail
+		if *chrome != "" && ring < 1<<16 {
+			ring = 1 << 16 // keep enough events for a useful timeline
+		}
+		rec = trace.New(ring)
 		m.SetTrace(rec)
+	}
+	if *stats {
+		m.EnableProfiling()
 	}
 	if err := m.LoadProgram(prog); err != nil {
 		fatal(err)
@@ -87,6 +107,9 @@ func main() {
 				st.PerHart[hpc*c:hpc*(c+1)])
 		}
 	}
+	if *stats {
+		fmt.Print(m.PerfSnapshot().Format())
+	}
 	if rec != nil {
 		if *digest {
 			fmt.Printf("digest:   %#x over %d events\n", rec.Digest(), rec.Count())
@@ -95,6 +118,27 @@ func main() {
 			fmt.Println(e)
 		}
 	}
+	if *chrome != "" {
+		if err := exportChrome(*chrome, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome:   trace written to %s\n", *chrome)
+	}
+}
+
+// exportChrome writes the recorder's ring to path, reporting write and
+// close errors (a full disk must not pass silently).
+func exportChrome(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // load builds a program from a .c, .s or .img file.

@@ -26,12 +26,29 @@
 //     the caller must restore ra and t0 from its own frame afterwards.
 package detomp
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
 
 // Runtime returns the assembly of the Deterministic OpenMP runtime,
-// to be appended once to any program using parallel constructs.
+// to be appended once to any program using parallel constructs. The
+// emitted constants follow isa.HartsPerCore.
 func Runtime() string {
-	return runtimeAsm
+	return runtimeFor(isa.HartsPerCore)
+}
+
+// runtimeFor instantiates the runtime for a machine with hpc harts per
+// core. The fork-policy branch masks the hart-in-core field of the p_set
+// identity with hpc-1, which is only a field extraction when hpc is a
+// power of two (as the identity-word layout requires).
+func runtimeFor(hpc int) string {
+	if hpc <= 0 || hpc&(hpc-1) != 0 {
+		panic(fmt.Sprintf("detomp: harts per core must be a power of two, got %d", hpc))
+	}
+	return fmt.Sprintf(runtimeAsm, hpc-1, hpc-1)
 }
 
 // RuntimeSymbols lists the global symbols defined by Runtime, so that
@@ -49,6 +66,10 @@ func UsesRuntime(src string) bool {
 // The team launcher. See the package comment for the ABI. The fork
 // target selection reproduces the paper's placement policy: fill the
 // harts of the current core, then expand to the next core (Figure 3).
+// The %d verbs are the hart-in-core mask and its compare bound
+// (HartsPerCore-1), filled in by runtimeFor — the mask used to be
+// hardcoded to 3 and would silently misplace teams on any machine with
+// a different hart count.
 const runtimeAsm = `
 # ---- Deterministic OpenMP runtime ------------------------------------
 # LBP_parallel_start(a0=f, a1=data, a3=nt), t0 = caller identity (p_set).
@@ -63,8 +84,8 @@ Lps_loop:
 	bge a2, a5, Lps_last     # last member: no fork
 	p_set a5, zero           # a5 = own identity; extract hart-in-core
 	srli a5, a5, 16
-	andi a5, a5, 3
-	li a6, 3
+	andi a5, a5, %d
+	li a6, %d
 	blt a5, a6, Lps_fc
 	p_fn t6                  # last hart of the core: fork on next core
 	j Lps_send

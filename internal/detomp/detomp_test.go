@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/isa"
 	"repro/internal/lbp"
 )
 
@@ -222,6 +223,37 @@ func TestUsesRuntime(t *testing.T) {
 	}
 	if len(RuntimeSymbols()) == 0 {
 		t.Error("runtime symbols must be listed")
+	}
+}
+
+// Regression test: the fork-policy mask used to be hardcoded to
+// `andi a5, a5, 3` / `li a6, 3`, silently baking HartsPerCore=4 into the
+// runtime. The constants must instead derive from the hart count, and a
+// non-power-of-two count (no longer a bit-field extraction) must be
+// rejected loudly.
+func TestRuntimeDerivesHartMask(t *testing.T) {
+	r8 := runtimeFor(8)
+	if !strings.Contains(r8, "andi a5, a5, 7") || !strings.Contains(r8, "li a6, 7") {
+		t.Errorf("runtimeFor(8) must mask with 7:\n%s", r8)
+	}
+	if strings.Contains(r8, "andi a5, a5, 3") || strings.Contains(r8, "li a6, 3") {
+		t.Error("runtimeFor(8) still contains the hardcoded 4-hart mask")
+	}
+	if r := Runtime(); !strings.Contains(r, fmt.Sprintf("andi a5, a5, %d", isa.HartsPerCore-1)) {
+		t.Errorf("Runtime() out of sync with isa.HartsPerCore=%d", isa.HartsPerCore)
+	}
+	if strings.Contains(Runtime(), "%d") {
+		t.Errorf("Runtime() leaked an unexpanded %q verb", "%d")
+	}
+	for _, bad := range []int{0, -4, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("runtimeFor(%d) must panic", bad)
+				}
+			}()
+			runtimeFor(bad)
+		}()
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/lbp"
+	"repro/internal/perf"
 	"repro/internal/phimodel"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -32,6 +33,13 @@ import (
 // compiled before the fan-out; workers only simulate.
 var Parallelism = 1
 
+// Profile, when true, enables per-run performance counters on every
+// matmul figure machine: stall attribution, stage occupancy, retired mix
+// and memory-side counters are snapshotted into MatmulRow.Perf. Counters
+// are deterministic — a pure function of the program and configuration —
+// so snapshots, like digests, are byte-identical for any Parallelism.
+var Profile = false
+
 // MatmulRow is one bar group of Figures 19-21. Digest and Events identify
 // the full event trace of the run (experiment E4): two runs of the same
 // variant and machine size must agree on them exactly, regardless of the
@@ -46,6 +54,10 @@ type MatmulRow struct {
 	Local   uint64 // local-bank + own-shared-bank accesses
 	Digest  uint64 // event-trace digest of the run
 	Events  uint64 // number of trace events folded into Digest
+
+	// Perf is the deterministic counter snapshot of the run; nil unless
+	// the Profile knob (lbp-bench -profile) is on.
+	Perf *perf.Snapshot `json:",omitempty"`
 }
 
 // RunMatmul builds, runs and verifies one variant at h harts.
@@ -64,6 +76,9 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 	m := workloads.NewMatmulMachine(h)
 	rec := trace.New(0)
 	m.SetTrace(rec)
+	if Profile {
+		m.EnableProfiling()
+	}
 	if err := m.LoadProgram(prog); err != nil {
 		return MatmulRow{}, err
 	}
@@ -79,6 +94,7 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 		Harts:   h,
 		Cycles:  res.Stats.Cycles,
 		Retired: res.Stats.Retired,
+		Perf:    m.PerfSnapshot(),
 		IPC:     res.Stats.IPC(),
 		Remote:  res.Mem.SharedRemote,
 		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,

@@ -155,3 +155,18 @@ func TestResponseTimeBounded(t *testing.T) {
 		t.Errorf("format: %s", out)
 	}
 }
+
+// Regression test: a non-positive phase count used to slip through and
+// produce a zero-sample report whose Min stayed at ^uint64(0), so Jitter
+// wrapped around to ~1.8e19 cycles instead of failing.
+func TestResponseSweepRejectsNonPositivePhases(t *testing.T) {
+	for _, phases := range []int{0, -3} {
+		rep, err := RunResponseSweep(phases)
+		if err == nil {
+			t.Fatalf("phases=%d: no error (report %+v, jitter %d)", phases, rep, rep.Jitter())
+		}
+		if !strings.Contains(err.Error(), "at least one phase") {
+			t.Errorf("phases=%d: unexpected error %v", phases, err)
+		}
+	}
+}

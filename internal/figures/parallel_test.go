@@ -57,6 +57,101 @@ func TestFigureRunnersParallelEquivalence(t *testing.T) {
 	}
 }
 
+// withProfile runs f with the package Profile knob set.
+func withProfile(t *testing.T, f func()) {
+	t.Helper()
+	old := Profile
+	Profile = true
+	defer func() { Profile = old }()
+	f()
+}
+
+// TestProfiledParallelEquivalence extends the equivalence property to the
+// counter layer: with profiling on, the embedded perf snapshots — stall
+// attribution, stage occupancy, retired mix, link waits, latency
+// histograms — must be byte-identical for any Parallelism, because the
+// counters are a pure function of each single-threaded simulation.
+func TestProfiledParallelEquivalence(t *testing.T) {
+	var seq, par []MatmulRow
+	var seqErr, parErr error
+	withProfile(t, func() {
+		withWorkers(t, 1, func() { seq, seqErr = RunMatmulFigure(16) })
+		withWorkers(t, 4, func() { par, parErr = RunMatmulFigure(16) })
+	})
+	if seqErr != nil {
+		t.Fatalf("sequential: %v", seqErr)
+	}
+	if parErr != nil {
+		t.Fatalf("parallel: %v", parErr)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := range seq {
+		if seq[i].Perf == nil || par[i].Perf == nil {
+			t.Fatalf("row %s: snapshot missing with Profile on", seq[i].Variant)
+		}
+		if !reflect.DeepEqual(seq[i].Perf, par[i].Perf) {
+			t.Errorf("row %s: counter snapshot diverges between Parallelism=1 and 4",
+				seq[i].Variant)
+		}
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("profiled rows diverge between Parallelism=1 and 4")
+	}
+	// And the knob must stay opt-in: with Profile off, rows carry no
+	// snapshot and the run is unchanged.
+	plain, err := RunMatmul(workloads.Base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Perf != nil {
+		t.Error("Perf must be nil when Profile is off")
+	}
+	if plain.Cycles != seq[0].Cycles || plain.Digest != seq[0].Digest {
+		t.Errorf("profiling perturbed the run: cycles %d vs %d, digest %#x vs %#x",
+			plain.Cycles, seq[0].Cycles, plain.Digest, seq[0].Digest)
+	}
+}
+
+// TestProfiledAttribution pins the acceptance criterion of the
+// observability layer on a real figure workload: for the Figure 19 base
+// variant, at least 90% of non-retiring hart-cycles carry a named stall
+// cause (the implementation is exact, so the fraction is 1.0).
+func TestProfiledAttribution(t *testing.T) {
+	var row MatmulRow
+	var err error
+	withProfile(t, func() { row, err = RunMatmul(workloads.Base, 16) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := row.Perf
+	if s == nil {
+		t.Fatal("no snapshot")
+	}
+	if f := s.AttributedFraction(); f < 0.9 {
+		t.Errorf("attributed fraction = %v, want >= 0.9", f)
+	}
+	var stalls uint64
+	for _, c := range s.Stalls {
+		stalls += c.Value
+	}
+	if s.CommitCycles+stalls != s.HartCycles {
+		t.Errorf("accounting not exact: %d + %d != %d",
+			s.CommitCycles, stalls, s.HartCycles)
+	}
+	var linkWait uint64
+	for _, c := range s.LinkWait {
+		linkWait += c.Value
+	}
+	if linkWait == 0 {
+		t.Error("base/16 saw no link contention — mem hooks not wired?")
+	}
+	if len(s.LocalLat) == 0 && len(s.RemoteLat) == 0 {
+		t.Error("no latency observations")
+	}
+}
+
 // TestMatmulRowsCarryDigests pins the digest plumbing: every row of a
 // figure records a non-empty event trace, and equal machines yield equal
 // digests run-to-run (the E4 property surfaced through the figure API).

@@ -34,8 +34,14 @@ type ResponseReport struct {
 func (r *ResponseReport) Jitter() uint64 { return r.Max - r.Min }
 
 // RunResponseSweep measures the response delay for `phases` consecutive
-// arrival offsets of the last sensor.
+// arrival offsets of the last sensor. phases must be positive: a sweep
+// over zero phases has no samples, and the Min fold below starts at
+// ^uint64(0), so letting it through would report Min=2^64-1, Max=0 and a
+// wrapped-around Jitter of ~1.8e19 cycles.
 func RunResponseSweep(phases int) (*ResponseReport, error) {
+	if phases <= 0 {
+		return nil, fmt.Errorf("figures: response sweep needs at least one phase, got %d", phases)
+	}
 	src := workloads.SensorFusionSource(1)
 	asmText, err := cc.BuildProgram(src, cc.DefaultOptions())
 	if err != nil {

@@ -3,6 +3,7 @@ package lbp
 import (
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/perf"
 	"repro/internal/trace"
 )
 
@@ -16,6 +17,8 @@ type core struct {
 	busy  int // harts not in hartFree state (maintained by hart.setState)
 
 	fetchRR, renameRR, issueRR, wbRR, commitRR int
+
+	perf *perf.CoreCounters // stage-occupancy counters (always counted)
 }
 
 // step advances the core by one cycle. Stages run in reverse pipeline
@@ -59,6 +62,7 @@ func (c *core) fetch(now uint64) {
 	if h == nil {
 		return
 	}
+	c.perf.StageBusy[perf.StageFetch]++
 	h.syncmWait = false
 	in, ok := c.m.decodedAt(h.pc)
 	if !ok {
@@ -97,6 +101,7 @@ func (c *core) rename(now uint64) {
 	if h == nil {
 		return
 	}
+	c.perf.StageBusy[perf.StageRename]++
 	u := h.ib
 	h.ib = nil
 	in := &u.inst
@@ -118,6 +123,7 @@ func (c *core) rename(now uint64) {
 	u.seq = h.seq
 	h.seq++
 	class := isa.ClassOf(in.Op)
+	u.cls = class
 	u.isRet = in.IsPRet()
 	u.needsRB = in.WritesRd() || class == isa.ClassLoad ||
 		(class == isa.ClassJump && !u.isRet)
@@ -167,6 +173,7 @@ func (c *core) issue(now uint64) {
 		return
 	}
 	c.issueRR = ih.idx
+	c.perf.StageBusy[perf.StageIssue]++
 	c.execute(ih, iu, now)
 }
 
@@ -356,6 +363,7 @@ func (c *core) writeback(now uint64) {
 	if h == nil {
 		return
 	}
+	c.perf.StageBusy[perf.StageWriteback]++
 	u := h.exec
 	h.exec = nil
 	if u.inst.WritesRd() {
@@ -397,6 +405,10 @@ func (c *core) commit(now uint64) {
 	u := h.rob[0]
 	h.rob = h.rob[1:]
 	h.retired++
+	h.lastCommit = now
+	h.perf.Commits++
+	h.perf.Retired[u.cls]++
+	c.perf.StageBusy[perf.StageCommit]++
 	c.m.progress = now
 	c.m.event(trace.KindCommit, c.idx, h.idx, uint64(u.pc))
 	switch {

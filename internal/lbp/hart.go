@@ -2,6 +2,7 @@ package lbp
 
 import (
 	"repro/internal/isa"
+	"repro/internal/perf"
 )
 
 // hartState is the lifecycle state of a hardware thread.
@@ -19,7 +20,8 @@ const (
 type uop struct {
 	inst isa.Inst
 	pc   uint32
-	seq  uint64 // per-hart rename sequence number
+	seq  uint64    // per-hart rename sequence number
+	cls  isa.Class // pipeline class, cached at rename
 
 	// Source operands: value captured at rename if the producer already
 	// wrote back, otherwise dep points at the producing uop and the value
@@ -82,6 +84,12 @@ type hart struct {
 	endingEpoch uint64 // cycle of last lifecycle change (diagnostics)
 
 	pool []*uop // recycled uops (bounded by ROB size)
+
+	// Performance counters (always counted; reported when profiling is
+	// enabled). lastCommit marks the cycle of the hart's latest commit so
+	// the per-cycle stall attribution can tell retiring cycles apart.
+	perf       *perf.HartCounters
+	lastCommit uint64
 }
 
 // newUop takes a zeroed uop from the pool (or allocates one).

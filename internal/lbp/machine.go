@@ -6,6 +6,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/perf"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,16 @@ type Machine struct {
 
 	decoded []isa.Inst // predecoded code image, indexed by pc/4
 	stats   Stats
+
+	// Performance counters. The inline increments in the pipeline stages
+	// and the memory system are unconditional (they are cheap and cannot
+	// affect timing); only the per-cycle stall-attribution walk is gated,
+	// branch-free, behind the tick function pointer — like the trace emit
+	// function, it is a no-op unless EnableProfiling was called.
+	hperf     []perf.HartCounters // indexed by global hart number
+	cperf     []perf.CoreCounters // indexed by core
+	tick      tickFn
+	profiling bool
 }
 
 // emitFn receives one machine event. Keeping the disabled path behind a
@@ -44,6 +55,12 @@ type Machine struct {
 type emitFn func(kind trace.Kind, core, hartIdx int, value uint64)
 
 func noopEmit(trace.Kind, int, int, uint64) {}
+
+// tickFn runs once per cycle after the pipeline stages. The enabled
+// version attributes every hart's cycle to a stall cause.
+type tickFn func(now uint64)
+
+func noopTick(uint64) {}
 
 // Device models an external unit (sensor, actuator, timer) attached to
 // the machine. Step is called once per cycle before the cores.
@@ -84,14 +101,17 @@ func New(cfg Config) *Machine {
 		cfg:  cfg,
 		Mem:  mem.New(cfg.Mem),
 		emit: noopEmit,
+		tick: noopTick,
 	}
 	if cfg.LivelockWindow == 0 {
 		m.cfg.LivelockWindow = 100000
 	}
 	m.cores = make([]*core, cfg.Cores)
 	m.harts = make([]*hart, cfg.Cores*HartsPerCore)
+	m.hperf = make([]perf.HartCounters, cfg.Cores*HartsPerCore)
+	m.cperf = make([]perf.CoreCounters, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
-		co := &core{m: m, idx: c}
+		co := &core{m: m, idx: c, perf: &m.cperf[c]}
 		for hi := 0; hi < HartsPerCore; hi++ {
 			h := &hart{
 				core:   co,
@@ -99,6 +119,7 @@ func New(cfg Config) *Machine {
 				gid:    isa.GlobalHart(c, hi),
 				remote: make([]remoteRB, cfg.RemoteRBs),
 			}
+			h.perf = &m.hperf[h.gid]
 			h.reset(&m.cfg)
 			co.harts[hi] = h
 			m.harts[h.gid] = h
@@ -250,6 +271,7 @@ func (m *Machine) Run(maxCycles uint64) (*Result, error) {
 		for _, c := range m.active {
 			c.step(m.cycle)
 		}
+		m.tick(m.cycle)
 		if m.cycle-m.progress > m.cfg.LivelockWindow {
 			m.faultf(-1, -1, "no progress for %d cycles (deadlock?)%s",
 				m.cfg.LivelockWindow, m.stuckReport())

@@ -1,0 +1,112 @@
+package lbp
+
+import (
+	"repro/internal/isa"
+	"repro/internal/perf"
+)
+
+// Deterministic profiling. The pipeline stages maintain stage-occupancy,
+// commit and retired-mix counters unconditionally (plain increments,
+// no timing feedback); EnableProfiling additionally turns on the
+// per-cycle stall-attribution walk, which classifies every hart-cycle
+// that did not commit into exactly one perf.StallCause. The accounting is
+// therefore exact: CommitCycles + sum(StallCycles) == Cycles * NumHarts.
+
+// EnableProfiling turns on per-cycle stall attribution. It must be called
+// before Run; profiling never changes a run's cycle count, results or
+// event-trace digest.
+func (m *Machine) EnableProfiling() {
+	m.profiling = true
+	m.tick = m.profTick
+}
+
+// Profiling reports whether stall attribution is enabled.
+func (m *Machine) Profiling() bool { return m.profiling }
+
+// PerfSnapshot aggregates the counters of a (finished or running) run.
+// It returns nil unless EnableProfiling was called — without the per-cycle
+// walk the stall attribution would be empty and the snapshot misleading.
+func (m *Machine) PerfSnapshot() *perf.Snapshot {
+	if !m.profiling {
+		return nil
+	}
+	return perf.Build(m.cycle, HartsPerCore, m.hperf, m.cperf, &m.Mem.Perf)
+}
+
+// profTick attributes the current cycle of every hart (free harts
+// included — an idle machine is itself a finding) to a stall cause.
+// It runs after the pipeline stages, so a hart whose commit stage retired
+// an instruction this cycle is counted as committing, not stalled.
+func (m *Machine) profTick(now uint64) {
+	for _, h := range m.harts {
+		if h.lastCommit == now {
+			continue // counted by Commits at the commit stage
+		}
+		h.perf.Stalls[classifyStall(h)]++
+	}
+}
+
+// classifyStall names the reason a hart did not commit this cycle. The
+// priority order mirrors the pipeline's own gating: lifecycle states
+// first, then the oldest in-flight instruction's blockers, then the
+// fetch-side conditions for an empty pipeline.
+func classifyStall(h *hart) perf.StallCause {
+	switch h.state {
+	case hartFree:
+		return perf.StallHartFree
+	case hartAllocated:
+		// fork issued, start pc still in flight on the forward link
+		return perf.StallFork
+	case hartWaitJoin:
+		return perf.StallJoin
+	}
+	if h.exec != nil && h.exec.memWait {
+		return perf.StallMem
+	}
+	if len(h.rob) > 0 {
+		u := h.rob[0]
+		switch {
+		case u.done:
+			if u.isRet {
+				// p_ret commit gating (the hardware barrier)
+				if h.hasPred && !h.predSignal {
+					return perf.StallJoin
+				}
+				if h.inflightMem > 0 {
+					return perf.StallMem
+				}
+			}
+			// completed, waiting for the commit slot
+			return perf.StallPipeline
+		case !u.issued:
+			if !u.ready() {
+				return perf.StallOperand
+			}
+			switch u.inst.Op {
+			case isa.OpPFC, isa.OpPFN:
+				return perf.StallFork // no free hart to fork onto
+			case isa.OpPLWRE:
+				return perf.StallOperand // p_swre result not yet arrived
+			}
+			if u.needsRB && h.exec != nil {
+				return perf.StallPipeline // 1-deep result buffer occupied
+			}
+			if u.cls == isa.ClassLoad || u.cls == isa.ClassStore {
+				// held by the per-hart memory issue order
+				return perf.StallMem
+			}
+			return perf.StallPipeline // issue-slot contention
+		default:
+			// issued, executing (functional-unit latency)
+			return perf.StallPipeline
+		}
+	}
+	if h.ib != nil {
+		return perf.StallPipeline // waiting for the rename slot
+	}
+	if h.syncmWait && h.inflightMem > 0 {
+		return perf.StallMem
+	}
+	// pipeline empty: waiting for the next pc or the fetch slot
+	return perf.StallFetch
+}

@@ -1,0 +1,171 @@
+package lbp
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/perf"
+	"repro/internal/trace"
+)
+
+// runTeamProfiled runs the Figure 6-8 team program with stall attribution
+// enabled and returns the machine, result and counter snapshot.
+func runTeamProfiled(t *testing.T, cores, nt int) (*Machine, *Result, *perf.Snapshot) {
+	t.Helper()
+	p, err := asm.Assemble(sprintf(teamProgram, nt, nt), asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(DefaultConfig(cores))
+	m.EnableProfiling()
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := m.Run(2_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := m.PerfSnapshot()
+	if s == nil {
+		t.Fatal("PerfSnapshot returned nil with profiling enabled")
+	}
+	return m, res, s
+}
+
+// The accounting identity: with profiling on, every hart-cycle is either
+// a commit or exactly one named stall cause. Nothing escapes.
+func TestPerfAccountingExact(t *testing.T) {
+	m, res, s := runTeamProfiled(t, 4, 16)
+	checkTeamResult(t, m, 16)
+
+	harts := 4 * HartsPerCore
+	if s.Harts != harts {
+		t.Fatalf("snapshot harts = %d, want %d", s.Harts, harts)
+	}
+	if s.Cycles != res.Stats.Cycles {
+		t.Errorf("snapshot cycles = %d, result cycles = %d", s.Cycles, res.Stats.Cycles)
+	}
+	if want := s.Cycles * uint64(harts); s.HartCycles != want {
+		t.Errorf("HartCycles = %d, want %d", s.HartCycles, want)
+	}
+	if s.CommitCycles != res.Stats.Retired {
+		t.Errorf("CommitCycles = %d, Retired = %d", s.CommitCycles, res.Stats.Retired)
+	}
+	var stalls uint64
+	for _, c := range s.Stalls {
+		stalls += c.Value
+	}
+	if s.CommitCycles+stalls != s.HartCycles {
+		t.Errorf("commit(%d) + stalls(%d) = %d, want %d hart-cycles",
+			s.CommitCycles, stalls, s.CommitCycles+stalls, s.HartCycles)
+	}
+	if f := s.AttributedFraction(); f != 1.0 {
+		t.Errorf("AttributedFraction = %v, want exactly 1.0", f)
+	}
+
+	// The retired-instruction mix must account for every commit, and the
+	// commit stage's occupancy is by definition the commit count.
+	var retired uint64
+	for _, c := range s.Retired {
+		retired += c.Value
+	}
+	if retired != s.CommitCycles {
+		t.Errorf("sum(retired by class) = %d, want %d", retired, s.CommitCycles)
+	}
+	if got := s.StageBusy[perf.StageCommit].Value; got != s.CommitCycles {
+		t.Errorf("StageBusy[commit] = %d, want %d", got, s.CommitCycles)
+	}
+
+	// Per-core breakdowns must fold back into the machine totals.
+	var coreCommits uint64
+	perCoreStalls := make([]uint64, perf.NumStallCauses)
+	for _, cs := range s.PerCore {
+		coreCommits += cs.CommitCycles
+		for i, c := range cs.Stalls {
+			perCoreStalls[i] += c.Value
+		}
+	}
+	if coreCommits != s.CommitCycles {
+		t.Errorf("per-core commits sum = %d, want %d", coreCommits, s.CommitCycles)
+	}
+	for i, c := range s.Stalls {
+		if perCoreStalls[i] != c.Value {
+			t.Errorf("per-core %s sum = %d, want %d", c.Name, perCoreStalls[i], c.Value)
+		}
+	}
+
+	// A 16-member team on 4 cores forks, joins and touches shared memory:
+	// the corresponding causes must all have been observed.
+	for _, cause := range []perf.StallCause{perf.StallHartFree, perf.StallFork, perf.StallJoin, perf.StallMem} {
+		if s.StallCycles(cause) == 0 {
+			t.Errorf("stall cause %s never observed", cause)
+		}
+	}
+	var lat uint64
+	for _, b := range s.LocalLat {
+		lat += b
+	}
+	for _, b := range s.RemoteLat {
+		lat += b
+	}
+	if lat == 0 {
+		t.Error("no memory latency observations recorded")
+	}
+	var linkWait uint64
+	for _, c := range s.LinkWait {
+		linkWait += c.Value
+	}
+	if linkWait != m.Mem.Stats.TotalWaitCycles {
+		t.Errorf("sum(link waits) = %d, want TotalWaitCycles = %d",
+			linkWait, m.Mem.Stats.TotalWaitCycles)
+	}
+}
+
+// Profiling must be observation-only: the same program with and without
+// profiling retires the same instructions in the same cycles with an
+// identical event trace.
+func TestPerfDoesNotPerturb(t *testing.T) {
+	run := func(profile bool) (*Result, *trace.Recorder) {
+		p, err := asm.Assemble(sprintf(teamProgram, 16, 16), asm.Options{})
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		m := New(DefaultConfig(4))
+		rec := trace.New(0)
+		m.SetTrace(rec)
+		if profile {
+			m.EnableProfiling()
+		} else if m.PerfSnapshot() != nil {
+			t.Fatal("PerfSnapshot must be nil without EnableProfiling")
+		}
+		if err := m.LoadProgram(p); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		res, err := m.Run(2_000_000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res, rec
+	}
+	plain, plainRec := run(false)
+	prof, profRec := run(true)
+	if plain.Stats.Cycles != prof.Stats.Cycles {
+		t.Errorf("cycles: plain %d, profiled %d", plain.Stats.Cycles, prof.Stats.Cycles)
+	}
+	if plain.Stats.Retired != prof.Stats.Retired {
+		t.Errorf("retired: plain %d, profiled %d", plain.Stats.Retired, prof.Stats.Retired)
+	}
+	if !trace.Same(plainRec, profRec) {
+		t.Error("profiling changed the event-trace digest")
+	}
+}
+
+// Counter snapshots are themselves deterministic: two profiled runs of
+// the same program produce identical snapshots and identical renderings.
+func TestPerfSnapshotDeterministic(t *testing.T) {
+	_, _, a := runTeamProfiled(t, 4, 16)
+	_, _, b := runTeamProfiled(t, 4, 16)
+	if a.Format() != b.Format() {
+		t.Errorf("snapshots differ:\n--- a ---\n%s--- b ---\n%s", a.Format(), b.Format())
+	}
+}

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/perf"
+
 // Width of a memory access in bytes.
 type Width uint8
 
@@ -103,7 +105,7 @@ func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
 	if c == o {
 		// Own bank through the local port: no routing.
 		s.Stats.SharedLocal++
-		t := s.alloc(&s.bankLocal[c], now+1)
+		t := s.alloc(&s.bankLocal[c], now+1, perf.LinkBankLocal)
 		return t, t + lat
 	}
 	s.Stats.SharedRemote++
@@ -113,55 +115,65 @@ func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
 	chc, cho := s.cfg.ChipOf(c), s.cfg.ChipOf(o)
 	chipHop := uint64(s.cfg.ChipHopLat)
 	hops := uint64(0)
-	t := s.alloc(&s.coreUp[c], now+hop)
+	t := s.alloc(&s.coreUp[c], now+hop, perf.LinkCoreUp)
 	hops++
 	if chc != cho {
 		// leave the source chip and enter the destination chip
-		t = s.alloc(&s.chipUpReq[chc], t+chipHop)
-		t = s.alloc(&s.chipDownReq[cho], t+chipHop)
+		t = s.alloc(&s.chipUpReq[chc], t+chipHop, perf.LinkChipReq)
+		t = s.alloc(&s.chipDownReq[cho], t+chipHop, perf.LinkChipReq)
 		hops += 2
 	}
 	switch {
 	case g1c == g1o:
 		// stays inside one r1
 	case g2c == g2o:
-		t = s.alloc(&s.r1UpReq[g1c], t+hop)
-		t = s.alloc(&s.r1DownReq[g1o], t+hop)
+		t = s.alloc(&s.r1UpReq[g1c], t+hop, perf.LinkR1Req)
+		t = s.alloc(&s.r1DownReq[g1o], t+hop, perf.LinkR1Req)
 		hops += 2
 	default:
-		t = s.alloc(&s.r1UpReq[g1c], t+hop)
-		t = s.alloc(&s.r2UpReq[g2c], t+hop)
-		t = s.alloc(&s.r2DownReq[g2o], t+hop)
-		t = s.alloc(&s.r1DownReq[g1o], t+hop)
+		t = s.alloc(&s.r1UpReq[g1c], t+hop, perf.LinkR1Req)
+		t = s.alloc(&s.r2UpReq[g2c], t+hop, perf.LinkR2Req)
+		t = s.alloc(&s.r2DownReq[g2o], t+hop, perf.LinkR2Req)
+		t = s.alloc(&s.r1DownReq[g1o], t+hop, perf.LinkR1Req)
 		hops += 4
 	}
-	t = s.alloc(&s.bankPort[o], t+hop)
+	t = s.alloc(&s.bankPort[o], t+hop, perf.LinkBankPort)
 	hops++
 	serviceT = t
 	// response path (reverse), on the result links
 	t += lat
 	if chc != cho {
-		t = s.alloc(&s.chipUpResp[cho], t+chipHop)
-		t = s.alloc(&s.chipDownResp[chc], t+chipHop)
+		t = s.alloc(&s.chipUpResp[cho], t+chipHop, perf.LinkChipResp)
+		t = s.alloc(&s.chipDownResp[chc], t+chipHop, perf.LinkChipResp)
 		hops += 2
 	}
 	switch {
 	case g1c == g1o:
 	case g2c == g2o:
-		t = s.alloc(&s.r1UpResp[g1o], t+hop)
-		t = s.alloc(&s.r1DownResp[g1c], t+hop)
+		t = s.alloc(&s.r1UpResp[g1o], t+hop, perf.LinkR1Resp)
+		t = s.alloc(&s.r1DownResp[g1c], t+hop, perf.LinkR1Resp)
 		hops += 2
 	default:
-		t = s.alloc(&s.r1UpResp[g1o], t+hop)
-		t = s.alloc(&s.r2UpResp[g2o], t+hop)
-		t = s.alloc(&s.r2DownResp[g2c], t+hop)
-		t = s.alloc(&s.r1DownResp[g1c], t+hop)
+		t = s.alloc(&s.r1UpResp[g1o], t+hop, perf.LinkR1Resp)
+		t = s.alloc(&s.r2UpResp[g2o], t+hop, perf.LinkR2Resp)
+		t = s.alloc(&s.r2DownResp[g2c], t+hop, perf.LinkR2Resp)
+		t = s.alloc(&s.r1DownResp[g1c], t+hop, perf.LinkR1Resp)
 		hops += 4
 	}
-	t = s.alloc(&s.coreDown[c], t+hop)
+	t = s.alloc(&s.coreDown[c], t+hop, perf.LinkCoreDown)
 	hops++
 	s.Stats.RemoteHops += hops
 	return serviceT, t
+}
+
+// observeShared records a shared access's submit-to-completion latency in
+// the local (own bank) or remote (routed) histogram.
+func (s *System) observeShared(core, bank int, lat uint64) {
+	if core == bank {
+		s.Perf.LocalLat.Observe(lat)
+	} else {
+		s.Perf.RemoteLat.Observe(lat)
+	}
 }
 
 // subWordLoad extracts a (sub-)word from w for an access at addr.
@@ -209,8 +221,9 @@ func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, sign
 			return false
 		}
 		s.Stats.LocalAccesses++
-		t := s.alloc(&s.localPort[core], now+1)
+		t := s.alloc(&s.localPort[core], now+1, perf.LinkLocalPort)
 		done := t + uint64(s.cfg.LocalLat)
+		s.Perf.LocalLat.Observe(done - now)
 		s.schedule(done, func() {
 			v := subWordLoad(s.local[core][off], addr, width, signed)
 			cb(v, done)
@@ -222,6 +235,7 @@ func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, sign
 			return false
 		}
 		serviceT, done := s.routeShared(now, core, bank)
+		s.observeShared(core, bank, done-now)
 		var v uint32
 		s.schedule(serviceT, func() {
 			v = subWordLoad(s.shared[bank][off], addr, width, signed)
@@ -243,8 +257,9 @@ func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Wid
 			return false
 		}
 		s.Stats.LocalAccesses++
-		t := s.alloc(&s.localPort[core], now+1)
+		t := s.alloc(&s.localPort[core], now+1, perf.LinkLocalPort)
 		done := t + uint64(s.cfg.LocalLat)
+		s.Perf.LocalLat.Observe(done - now)
 		s.schedule(done, func() {
 			s.local[core][off] = subWordStore(s.local[core][off], value, addr, width)
 			if cb != nil {
@@ -258,6 +273,7 @@ func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Wid
 			return false
 		}
 		serviceT, done := s.routeShared(now, core, bank)
+		s.observeShared(core, bank, done-now)
 		s.schedule(serviceT, func() {
 			s.shared[bank][off] = subWordStore(s.shared[bank][off], value, addr, width)
 		})
@@ -284,10 +300,15 @@ func (s *System) SubmitCVWrite(now uint64, fromCore, targetCore int, addr, value
 	s.Stats.CVWrites++
 	t := now
 	if targetCore != fromCore {
-		t = s.alloc(&s.forward[fromCore], t+uint64(s.cfg.HopLat))
+		t = s.alloc(&s.forward[fromCore], t+uint64(s.cfg.HopLat), perf.LinkForward)
 	}
-	t = s.alloc(&s.localPort[targetCore], t+1)
+	t = s.alloc(&s.localPort[targetCore], t+1, perf.LinkLocalPort)
 	done := t + uint64(s.cfg.LocalLat)
+	if targetCore == fromCore {
+		s.Perf.LocalLat.Observe(done - now)
+	} else {
+		s.Perf.RemoteLat.Observe(done - now)
+	}
 	s.schedule(done, func() {
 		s.local[targetCore][off] = value
 		if cb != nil {

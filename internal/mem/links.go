@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
 
 // Inter-core message transport.
 //
@@ -27,7 +31,7 @@ func (s *System) SendForward(now uint64, from, to int, fn func(done uint64)) err
 	}
 	t := now + 1
 	if to != from {
-		t = s.alloc(&s.forward[from], now+uint64(s.cfg.HopLat))
+		t = s.alloc(&s.forward[from], now+uint64(s.cfg.HopLat), perf.LinkForward)
 		if s.cfg.ChipOf(to) != s.cfg.ChipOf(from) {
 			t += uint64(s.cfg.ChipHopLat) // neighbor link crosses the chip edge
 		}
@@ -48,7 +52,7 @@ func (s *System) SendBackward(now uint64, from, to int, fn func(done uint64)) er
 		t = now + 1
 	} else {
 		for c := from; c > to; c-- {
-			t = s.alloc(&s.backward[c], t+uint64(s.cfg.HopLat))
+			t = s.alloc(&s.backward[c], t+uint64(s.cfg.HopLat), perf.LinkBackward)
 			if s.cfg.ChipOf(c) != s.cfg.ChipOf(c-1) {
 				t += uint64(s.cfg.ChipHopLat)
 			}

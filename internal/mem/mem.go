@@ -16,7 +16,11 @@
 // after the response traversed the return path.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
 
 // Address space layout.
 const (
@@ -136,6 +140,7 @@ type System struct {
 	events eventQueue
 	seq    uint64
 	Stats  Stats
+	Perf   perf.MemCounters
 }
 
 // New creates a memory system.
@@ -262,11 +267,15 @@ func (s *System) SharedAddr(bank int, off uint32) uint32 {
 	return SharedBase + uint32(bank)*s.cfg.SharedBytes + off*4
 }
 
-// alloc reserves the first slot >= tmin on a link and returns it.
-func (s *System) alloc(link *uint64, tmin uint64) uint64 {
+// alloc reserves the first slot >= tmin on a link and returns it. class
+// attributes any wait for a busy slot to the link family (Perf.LinkWait);
+// the counters never feed back into timing.
+func (s *System) alloc(link *uint64, tmin uint64, class perf.LinkClass) uint64 {
 	t := tmin
 	if *link > t {
-		s.Stats.TotalWaitCycles += *link - t
+		w := *link - t
+		s.Stats.TotalWaitCycles += w
+		s.Perf.LinkWait[class] += w
 		t = *link
 	}
 	*link = t + 1

@@ -1,0 +1,151 @@
+package perf
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 31, 32}, {^uint64(0), 32},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("Observe(%d) did not land in bucket %d: %v", c.v, c.bucket, h.Buckets)
+		}
+	}
+	if h.Total() != uint64(len(cases)) {
+		t.Errorf("Total = %d, want %d", h.Total(), len(cases))
+	}
+}
+
+// Every enum value must have a distinct table name — a missing entry
+// would silently render as "" in snapshots and reports.
+func TestNameTablesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	check := func(name string) {
+		t.Helper()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Errorf("bad or duplicate enum name %q", name)
+		}
+		seen[name] = true
+	}
+	for c := 0; c < NumStallCauses; c++ {
+		check(StallCause(c).String())
+	}
+	for s := 0; s < NumStages; s++ {
+		check(Stage(s).String())
+	}
+	for l := 0; l < NumLinkClasses; l++ {
+		check(LinkClass(l).String())
+	}
+	for c := 0; c < numClasses; c++ {
+		check(classNames[c])
+	}
+	if StallCause(200).String() != "unknown" ||
+		Stage(200).String() != "unknown" || LinkClass(200).String() != "unknown" {
+		t.Error("out-of-range enums must print as unknown")
+	}
+}
+
+func buildSample() *Snapshot {
+	harts := make([]HartCounters, 8) // 2 cores x 4 harts
+	cores := make([]CoreCounters, 2)
+	mc := &MemCounters{}
+	for i := range harts {
+		harts[i].Commits = uint64(10 * (i + 1))
+		harts[i].Stalls[StallMem] = uint64(i)
+		harts[i].Retired[3] = harts[i].Commits // all loads
+	}
+	cores[0].StageBusy[StageCommit] = 100
+	cores[1].StageBusy[StageCommit] = 260
+	mc.LinkWait[LinkBankPort] = 42
+	mc.LocalLat.Observe(3)
+	mc.RemoteLat.Observe(12)
+	return Build(1000, 4, harts, cores, mc)
+}
+
+func TestBuildAggregates(t *testing.T) {
+	s := buildSample()
+	if s.Cycles != 1000 || s.Harts != 8 || s.HartCycles != 8000 {
+		t.Errorf("totals: %+v", s)
+	}
+	if s.CommitCycles != 360 { // 10+20+...+80
+		t.Errorf("CommitCycles = %d", s.CommitCycles)
+	}
+	if s.StallCycles(StallMem) != 28 { // 0+1+...+7
+		t.Errorf("StallMem = %d", s.StallCycles(StallMem))
+	}
+	if len(s.PerCore) != 2 {
+		t.Fatalf("PerCore: %+v", s.PerCore)
+	}
+	if s.PerCore[0].CommitCycles != 100 || s.PerCore[1].CommitCycles != 260 {
+		t.Errorf("per-core commits: %+v", s.PerCore)
+	}
+	if s.LinkWait[LinkBankPort].Value != 42 {
+		t.Errorf("LinkWait: %+v", s.LinkWait)
+	}
+	// trimHist cuts after the last non-zero bucket: Observe(3) -> bucket 2,
+	// Observe(12) -> bucket 4.
+	if len(s.LocalLat) != 3 || len(s.RemoteLat) != 5 {
+		t.Errorf("histograms: local %v remote %v", s.LocalLat, s.RemoteLat)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := buildSample()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"stallCycles"`, `"linkWaitCycles"`, `"memory-wait"`, `"bank-port"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, &back) {
+		t.Error("snapshot does not round-trip through JSON")
+	}
+}
+
+func TestAttributedFraction(t *testing.T) {
+	s := &Snapshot{HartCycles: 100, CommitCycles: 40,
+		Stalls: []Count{{"a", 30}, {"b", 30}}}
+	if f := s.AttributedFraction(); f != 1.0 {
+		t.Errorf("exact accounting: %v", f)
+	}
+	s.Stalls[1].Value = 15
+	if f := s.AttributedFraction(); f != 0.75 {
+		t.Errorf("partial accounting: %v", f)
+	}
+	idle := &Snapshot{HartCycles: 50, CommitCycles: 50}
+	if f := idle.AttributedFraction(); f != 1.0 {
+		t.Errorf("all-commit run must be fully attributed: %v", f)
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	out := buildSample().Format()
+	for _, want := range []string{
+		"cycle attribution", "8 harts x 1000 cycles", "commit",
+		"memory-wait", "retired by class", "load=360",
+		"stage occupancy", "link wait cycles", "bank-port=42",
+		"local :", "remote:", "[2,4)=1", "[8,16)=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

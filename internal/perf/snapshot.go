@@ -1,0 +1,205 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Count is one named counter value in a snapshot, kept in canonical
+// (enum) order so that snapshots of equal runs compare byte-identical.
+type Count struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// CoreSnapshot is the per-core slice of a snapshot.
+type CoreSnapshot struct {
+	Core         int     `json:"core"`
+	CommitCycles uint64  `json:"commitCycles"`
+	Stalls       []Count `json:"stallCycles"`
+	StageBusy    []Count `json:"stageBusyCycles"`
+}
+
+// Snapshot is the serializable form of a run's counters: embedded in
+// BENCH_fig<N>.json by `lbp-bench -profile` and rendered as a table by
+// `lbp-run -stats`. All slices are in canonical enum order.
+type Snapshot struct {
+	Cycles       uint64 `json:"cycles"`
+	Harts        int    `json:"harts"`
+	HartCycles   uint64 `json:"hartCycles"` // Cycles * Harts
+	CommitCycles uint64 `json:"commitCycles"`
+
+	Stalls    []Count `json:"stallCycles"`
+	StageBusy []Count `json:"stageBusyCycles"`
+	Retired   []Count `json:"retiredByClass"`
+
+	LinkWait  []Count  `json:"linkWaitCycles"`
+	LocalLat  []uint64 `json:"localLatencyLog2"`  // bucket i: see Histogram
+	RemoteLat []uint64 `json:"remoteLatencyLog2"` //
+
+	PerCore []CoreSnapshot `json:"perCore"`
+}
+
+// Build aggregates raw counters into a Snapshot. harts must be ordered by
+// global hart number and cores by core index; the per-core breakdown
+// folds each core's consecutive HartsPerCore harts together.
+func Build(cycles uint64, hartsPerCore int, harts []HartCounters, cores []CoreCounters, mc *MemCounters) *Snapshot {
+	s := &Snapshot{
+		Cycles:     cycles,
+		Harts:      len(harts),
+		HartCycles: cycles * uint64(len(harts)),
+	}
+	var stalls [NumStallCauses]uint64
+	var retired [numClasses]uint64
+	for i := range harts {
+		h := &harts[i]
+		s.CommitCycles += h.Commits
+		for c, v := range h.Stalls {
+			stalls[c] += v
+		}
+		for c, v := range h.Retired {
+			retired[c] += v
+		}
+	}
+	for c, v := range stalls {
+		s.Stalls = append(s.Stalls, Count{StallCause(c).String(), v})
+	}
+	for c, v := range retired {
+		s.Retired = append(s.Retired, Count{classNames[c], v})
+	}
+	var stages [NumStages]uint64
+	for i := range cores {
+		for st, v := range cores[i].StageBusy {
+			stages[st] += v
+		}
+	}
+	for st, v := range stages {
+		s.StageBusy = append(s.StageBusy, Count{Stage(st).String(), v})
+	}
+	for l, v := range mc.LinkWait {
+		s.LinkWait = append(s.LinkWait, Count{LinkClass(l).String(), v})
+	}
+	s.LocalLat = trimHist(&mc.LocalLat)
+	s.RemoteLat = trimHist(&mc.RemoteLat)
+	for ci := range cores {
+		cs := CoreSnapshot{Core: ci}
+		var cStalls [NumStallCauses]uint64
+		for hi := 0; hi < hartsPerCore; hi++ {
+			h := &harts[ci*hartsPerCore+hi]
+			cs.CommitCycles += h.Commits
+			for c, v := range h.Stalls {
+				cStalls[c] += v
+			}
+		}
+		for c, v := range cStalls {
+			cs.Stalls = append(cs.Stalls, Count{StallCause(c).String(), v})
+		}
+		for st, v := range cores[ci].StageBusy {
+			cs.StageBusy = append(cs.StageBusy, Count{Stage(st).String(), v})
+		}
+		s.PerCore = append(s.PerCore, cs)
+	}
+	return s
+}
+
+// trimHist renders a histogram as a slice cut after the last non-zero
+// bucket (an empty histogram becomes an empty, non-nil slice).
+func trimHist(h *Histogram) []uint64 {
+	last := 0
+	for i, b := range h.Buckets {
+		if b > 0 {
+			last = i + 1
+		}
+	}
+	out := make([]uint64, last)
+	copy(out, h.Buckets[:last])
+	return out
+}
+
+// StallCycles returns the snapshot's total for one cause.
+func (s *Snapshot) StallCycles(c StallCause) uint64 {
+	return s.Stalls[c].Value
+}
+
+// AttributedFraction returns the fraction of non-retiring hart-cycles
+// attributed to a named stall cause (1.0 when the accounting is exact).
+func (s *Snapshot) AttributedFraction() float64 {
+	non := s.HartCycles - s.CommitCycles
+	if non == 0 {
+		return 1
+	}
+	var attributed uint64
+	for _, c := range s.Stalls {
+		attributed += c.Value
+	}
+	return float64(attributed) / float64(non)
+}
+
+// Format renders the snapshot as the human-readable attribution tables of
+// `lbp-run -stats`.
+func (s *Snapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle attribution (%d harts x %d cycles = %d hart-cycles)\n",
+		s.Harts, s.Cycles, s.HartCycles)
+	pct := func(v uint64) float64 {
+		if s.HartCycles == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(s.HartCycles)
+	}
+	fmt.Fprintf(&b, "  %-16s %14d  %5.1f%%\n", "commit", s.CommitCycles, pct(s.CommitCycles))
+	for _, c := range s.Stalls {
+		fmt.Fprintf(&b, "  %-16s %14d  %5.1f%%\n", c.Name, c.Value, pct(c.Value))
+	}
+	b.WriteString("retired by class: ")
+	writeCounts(&b, s.Retired)
+	b.WriteString("stage occupancy (busy cycles): ")
+	writeCounts(&b, s.StageBusy)
+	b.WriteString("link wait cycles: ")
+	writeCounts(&b, s.LinkWait)
+	fmt.Fprintf(&b, "memory latency (log2 buckets, cycles):\n")
+	fmt.Fprintf(&b, "  local : %s\n", formatHist(s.LocalLat))
+	fmt.Fprintf(&b, "  remote: %s\n", formatHist(s.RemoteLat))
+	return b.String()
+}
+
+// writeCounts prints non-zero counts on one line, "(none)" if all zero.
+func writeCounts(b *strings.Builder, counts []Count) {
+	any := false
+	for _, c := range counts {
+		if c.Value == 0 {
+			continue
+		}
+		if any {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(b, "%s=%d", c.Name, c.Value)
+		any = true
+	}
+	if !any {
+		b.WriteString("(none)")
+	}
+	b.WriteString("\n")
+}
+
+// formatHist prints "[lo,hi)=count" terms for the non-zero buckets.
+func formatHist(buckets []uint64) string {
+	var parts []string
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, fmt.Sprintf("0=%d", n))
+		case 1:
+			parts = append(parts, fmt.Sprintf("1=%d", n))
+		default:
+			parts = append(parts, fmt.Sprintf("[%d,%d)=%d", 1<<(i-1), 1<<i, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, "  ")
+}

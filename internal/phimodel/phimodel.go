@@ -53,16 +53,24 @@ type Result struct {
 }
 
 // TiledMatmul models the tiled integer matmul (X: h x h/2 times
-// Y: h/2 x h) with one thread per h.
+// Y: h/2 x h) with one thread per h. With fewer threads than cores the
+// surplus cores are idle, so the effective core count is min(Cores, h):
+// dividing by all 64 cores for a 16-thread sweep point would both
+// overstate the machine's speed (cycles 4x too low) and understate its
+// per-core efficiency (IPCPerCore 4x too low).
 func (c Config) TiledMatmul(h int) Result {
 	hh := float64(h)
+	cores := c.Cores
+	if h < cores {
+		cores = h
+	}
 	instr := c.Alpha*hh*hh*hh + c.Beta*hh*hh
-	cycles := instr/(float64(c.Cores)*c.IPCPerCore) + c.Startup
+	cycles := instr/(float64(cores)*c.IPCPerCore) + c.Startup
 	return Result{
 		Harts:        h,
 		Instructions: uint64(math.Round(instr)),
 		Cycles:       uint64(math.Round(cycles)),
 		IPC:          instr / cycles,
-		IPCPerCore:   instr / cycles / float64(c.Cores),
+		IPCPerCore:   instr / cycles / float64(cores),
 	}
 }

@@ -30,3 +30,49 @@ func TestModelScalesMonotonically(t *testing.T) {
 		prev = r
 	}
 }
+
+// The h=256 calibration point, pinned exactly: the clamp below must not
+// move the number the paper is compared against.
+func TestCalibrationPinned(t *testing.T) {
+	r := Default().TiledMatmul(256)
+	if r.Instructions != 32_000_000 {
+		t.Errorf("instructions = %d, want exactly 32000000", r.Instructions)
+	}
+	if r.Cycles != 400_625 { // 32e6/(64*1.28) + 10000
+		t.Errorf("cycles = %d, want 400625", r.Cycles)
+	}
+}
+
+// Regression test: a sweep point with fewer threads than cores used to
+// divide by all 64 cores, so a 16-thread run was modeled as if 64 cores
+// shared the work — cycles 4x too low and a per-core IPC of ~0.027
+// instead of the calibrated ~1.28 on the 16 busy cores.
+func TestSmallSweepClampsCores(t *testing.T) {
+	c := Default()
+	r := c.TiledMatmul(16)
+	// 16 threads occupy 16 cores: aggregate IPC spread over the busy
+	// cores must equal IPCPerCore, not 1/4 of it.
+	if got, want := r.IPCPerCore, r.IPC/16; !approxEqual(got, want) {
+		t.Errorf("IPCPerCore = %v, want IPC/16 = %v", got, want)
+	}
+	// Startup dominates this tiny point; the work term is instr/(16*1.28).
+	// Cycles is rounded to a whole cycle, so allow that much slack.
+	instr := float64(r.Instructions)
+	wantCycles := instr/(16*c.IPCPerCore) + c.Startup
+	if got := float64(r.Cycles); got < wantCycles-1 || got > wantCycles+1 {
+		t.Errorf("cycles = %v, want ~%v (clamped to 16 cores)", got, wantCycles)
+	}
+	// The busy cores must stay as efficient as the calibrated machine —
+	// nowhere near the unclamped model's 4x-degraded per-core IPC.
+	if r.IPCPerCore < 0.05 {
+		t.Errorf("IPCPerCore = %v: surplus idle cores leaked into the divisor", r.IPCPerCore)
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}

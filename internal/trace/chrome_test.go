@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+type chromeDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func decodeChrome(t *testing.T, b []byte) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, b)
+	}
+	return doc
+}
+
+func TestWriteChromeSpans(t *testing.T) {
+	evs := []Event{
+		{Cycle: 5, Core: 0, Hart: 0, Kind: KindFork, Value: 6},
+		{Cycle: 10, Core: 1, Hart: 2, Kind: KindStart, Value: 0x100},
+		{Cycle: 20, Core: 1, Hart: 2, Kind: KindCommit, Value: 0x104},
+		{Cycle: 50, Core: 1, Hart: 2, Kind: KindJoin, Value: 0x200},
+		{Cycle: 60, Core: 0, Hart: 1, Kind: KindStart, Value: 0x300},
+		{Cycle: 70, Core: 0, Hart: 0, Kind: KindCommit, Value: 0x108},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+
+	var instants, spans int
+	var joined, open map[string]any
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "i":
+			instants++
+		case "X":
+			spans++
+			switch e["pid"].(float64) {
+			case 1:
+				joined = e
+			case 0:
+				open = e
+			}
+		}
+	}
+	if instants != len(evs) {
+		t.Errorf("instants = %d, want %d", instants, len(evs))
+	}
+	if spans != 2 {
+		t.Fatalf("spans = %d, want 2 (one joined, one still open)", spans)
+	}
+	if joined["ts"].(float64) != 10 || joined["dur"].(float64) != 40 ||
+		joined["tid"].(float64) != 2 {
+		t.Errorf("joined span = %v, want ts=10 dur=40 tid=2", joined)
+	}
+	// The hart that never joined is closed at the last seen cycle (70).
+	if open["ts"].(float64) != 60 || open["dur"].(float64) != 10 ||
+		open["tid"].(float64) != 1 {
+		t.Errorf("open span = %v, want ts=60 dur=10 tid=1", open)
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	// Many open spans exercise the map-iteration path, which must be
+	// hidden by the final sort.
+	var evs []Event
+	for i := 0; i < 32; i++ {
+		evs = append(evs, Event{
+			Cycle: uint64(100 + i), Core: uint16(i % 7), Hart: uint8(i % 4),
+			Kind: KindStart, Value: uint64(i),
+		})
+	}
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical inputs must serialize identically")
+	}
+	decodeChrome(t, a.Bytes())
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if doc := decodeChrome(t, buf.Bytes()); len(doc.TraceEvents) != 0 {
+		t.Errorf("empty input produced %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestRecorderWriteChrome(t *testing.T) {
+	r := New(8)
+	r.Add(Event{Cycle: 1, Core: 0, Hart: 0, Kind: KindStart})
+	r.Add(Event{Cycle: 9, Core: 0, Hart: 0, Kind: KindJoin})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+	if len(doc.TraceEvents) != 3 { // 2 instants + 1 span
+		t.Errorf("got %d events, want 3\n%s", len(doc.TraceEvents), buf.Bytes())
+	}
+}

@@ -109,8 +109,9 @@ func (r *Recorder) Digest() uint64 { return r.digest }
 func (r *Recorder) Count() uint64 { return r.count }
 
 // Last returns up to n of the most recent events, oldest first.
+// Non-positive n returns nil.
 func (r *Recorder) Last(n int) []Event {
-	if r.ring == nil {
+	if r.ring == nil || n <= 0 {
 		return nil
 	}
 	var evs []Event

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,59 @@ func TestRing(t *testing.T) {
 	empty := New(0)
 	if empty.Last(5) != nil {
 		t.Error("recorder without ring must return nil")
+	}
+}
+
+// Regression test: Last with a non-positive n used to slice with a
+// negative offset (evs[len(evs)-n:] for n < 0) and panic.
+func TestLastNonPositive(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Add(Event{Cycle: uint64(i)})
+	}
+	if got := r.Last(-1); got != nil {
+		t.Errorf("Last(-1) = %v, want nil", got)
+	}
+	if got := r.Last(0); got != nil {
+		t.Errorf("Last(0) = %v, want nil", got)
+	}
+}
+
+// Last must stay oldest-first across the exact ring-wrap boundary:
+// when the ring has wrapped, the result stitches the tail of the
+// buffer (oldest) before its head (newest).
+func TestLastAcrossWrap(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 4; i++ { // exactly full: next == 0, full == true
+		r.Add(Event{Cycle: uint64(i)})
+	}
+	if got := r.Last(4); len(got) != 4 || got[0].Cycle != 0 || got[3].Cycle != 3 {
+		t.Errorf("Last(4) at exact fill = %v", got)
+	}
+	r.Add(Event{Cycle: 4}) // overwrite the oldest slot
+	got := r.Last(4)
+	if len(got) != 4 {
+		t.Fatalf("Last(4) after wrap: %d events", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != uint64(1+i) {
+			t.Errorf("event %d: cycle %d, want %d", i, e.Cycle, 1+i)
+		}
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].Cycle != 3 || got[1].Cycle != 4 {
+		t.Errorf("Last(2) after wrap = %v", got)
+	}
+}
+
+func TestKindStringOutOfRange(t *testing.T) {
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("Kind(200).String() = %q", got)
+	}
+	if got := numKinds.String(); got != fmt.Sprintf("kind(%d)", uint8(numKinds)) {
+		t.Errorf("numKinds.String() = %q", got)
+	}
+	if got := KindIO.String(); got != "io" {
+		t.Errorf("KindIO.String() = %q", got)
 	}
 }
 
