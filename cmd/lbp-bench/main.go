@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	lbp-bench [-parallel N] [-json] [-outdir DIR] [-profile] [-phases N] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
+//	lbp-bench [-parallel N] [-simworkers N] [-json] [-outdir DIR] [-profile] [-phases N] [-cpuprofile FILE] [-memprofile FILE] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
 //
 // -profile embeds a deterministic performance-counter snapshot (cycle
 // attribution by stall cause, retired mix, stage occupancy, per-link-class
@@ -24,6 +24,15 @@
 // and therefore in the BENCH_fig<N>.json records. Counters never feed back
 // into simulated timing, so rows and digests are byte-identical with and
 // without -profile, for any -parallel value.
+//
+// -simworkers shards the cycle loop of each simulated machine across N
+// host threads (0 = all CPUs); like -parallel, it changes only wall time,
+// never a simulated result. The matmul BENCH records include per-row host
+// wall time and simulated-cycles-per-second so the effect is measurable.
+//
+// -cpuprofile / -memprofile capture host-side pprof profiles of the
+// simulator itself (the whole lbp-bench invocation), for finding the next
+// simulator hot spot — unrelated to the simulated-machine -profile.
 //
 // -phases sets the arrival-phase count of the -fig response sweep.
 package main
@@ -35,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +66,9 @@ func main() {
 	outdir := flag.String("outdir", ".", "directory receiving the BENCH_fig<N>.json records")
 	profile := flag.Bool("profile", false, "embed deterministic perf-counter snapshots in matmul rows and BENCH records")
 	phases := flag.Int("phases", 24, "arrival phases for the -fig response sweep (must be positive)")
+	simWorkers := flag.Int("simworkers", 1, "host threads stepping each simulated machine (0 = all CPUs, 1 = single-threaded)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU pprof profile of the simulator to `file`")
+	memProfile := flag.String("memprofile", "", "write a host-side heap pprof profile of the simulator to `file`")
 	flag.Parse()
 	// Reject a bad sweep size here, before any figure runs: a non-positive
 	// phase count cannot produce a response report (RunResponseSweep also
@@ -69,6 +82,35 @@ func main() {
 	responsePhases = *phases
 	figures.Parallelism = *parallel
 	figures.Profile = *profile
+	figures.SimWorkers = *simWorkers
+	figures.RecordThroughput = true
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbp-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lbp-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile() // LIFO: stop (and flush) before closing f
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lbp-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lbp-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	matched := false
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -120,8 +162,9 @@ type benchRecord struct {
 	Rows        []figures.MatmulRow `json:"rows"`
 	Phi         *phimodel.Result    `json:"xeonPhiModel,omitempty"`
 	WallTimeSec float64             `json:"wallTimeSec"`
-	Parallel    int                 `json:"parallel"` // the -parallel setting
-	Profile     bool                `json:"profile"`  // rows carry perf snapshots
+	Parallel    int                 `json:"parallel"`   // the -parallel setting
+	SimWorkers  int                 `json:"simWorkers"` // the -simworkers setting
+	Profile     bool                `json:"profile"`    // rows carry perf snapshots
 	Host        hostInfo            `json:"host"`
 	GeneratedAt string              `json:"generatedAt"`
 }
@@ -142,6 +185,7 @@ func writeBenchRecord(figNo int, rows []figures.MatmulRow, phi *phimodel.Result,
 		Phi:         phi,
 		WallTimeSec: wall.Seconds(),
 		Parallel:    figures.Parallelism,
+		SimWorkers:  figures.SimWorkers,
 		Profile:     figures.Profile,
 		Host: hostInfo{
 			GoOS:       runtime.GOOS,
@@ -176,13 +220,21 @@ func matmulFigure(h int) error {
 		return err
 	}
 	if jsonMode {
+		// stdout stays byte-identical across runs: drop the host-side
+		// throughput (the only nondeterministic row content) — it is
+		// recorded in the BENCH_fig<N>.json file instead.
+		det := make([]figures.MatmulRow, len(rows))
+		copy(det, rows)
+		for i := range det {
+			det[i].Host = nil
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
 			Figure int                 `json:"figure"`
 			Rows   []figures.MatmulRow `json:"rows"`
 			Phi    *phimodel.Result    `json:"xeonPhiModel,omitempty"`
-		}{figures.FigureForHarts(h), rows, phi})
+		}{figures.FigureForHarts(h), det, phi})
 	}
 	fmt.Print(figures.FormatMatmulFigure(rows, phi))
 	return nil

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-digest] [-tail N] [-percore] [-stats] [-chrome FILE] file.{c,s,img}
+//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-simworkers N] [-ffwd=false] [-digest] [-tail N] [-percore] [-stats] [-chrome FILE] file.{c,s,img}
+//
+// -simworkers shards the machine's cycle loop across N host threads
+// (0 = all CPUs); -ffwd=false disables idle-cycle fast-forward. Both are
+// host-side knobs: cycle counts, stats, digests and -chrome exports are
+// bit-identical for every setting.
 //
 // -stats enables the deterministic performance counters and prints a
 // cycle-attribution report after the run: where every hart-cycle went
@@ -40,6 +45,8 @@ func main() {
 	tail := flag.Int("tail", 0, "print the last N trace events")
 	stats := flag.Bool("stats", false, "enable performance counters and print the cycle-attribution report")
 	chrome := flag.String("chrome", "", "write the retained trace events as Chrome trace-event JSON to `file`")
+	simWorkers := flag.Int("simworkers", 1, "host threads stepping the machine (0 = all CPUs, 1 = single-threaded)")
+	ffwd := flag.Bool("ffwd", true, "fast-forward idle cycles (never changes simulated results)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
@@ -72,6 +79,8 @@ func main() {
 	if *stats {
 		m.EnableProfiling()
 	}
+	m.SetSimWorkers(*simWorkers)
+	m.SetFastForward(*ffwd)
 	if err := m.LoadProgram(prog); err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@ package figures
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cc"
@@ -40,6 +41,32 @@ var Parallelism = 1
 // so snapshots, like digests, are byte-identical for any Parallelism.
 var Profile = false
 
+// SimWorkers is the *intra-run* worker count handed to every figure
+// machine (lbp.Machine.SetSimWorkers): 1 steps each simulation on a
+// single goroutine, 0 uses all host CPUs. Unlike Parallelism, which
+// fans out whole simulations, SimWorkers shards the compute phase of a
+// single machine's cycle loop; both knobs leave every simulated result
+// bit-identical and compose freely.
+var SimWorkers = 1
+
+// FastForward toggles idle-cycle fast-forward on the figure machines
+// (on by default, matching lbp.New). Exposed for the equivalence tests.
+var FastForward = true
+
+// RecordThroughput, when true, attaches host-side wall-time and
+// simulated-cycles-per-second to each figure row (MatmulRow.Host).
+// Off by default: throughput is the only nondeterministic content a row
+// can carry, and the equivalence tests compare rows with DeepEqual.
+var RecordThroughput = false
+
+// Throughput records the host-side execution speed of one simulation.
+type Throughput struct {
+	WallSec       float64 // host seconds inside Machine.Run
+	CyclesPerSec  float64 // simulated cycles per host second
+	SimWorkers    int     // intra-run worker count used
+	FastForwarded uint64  // simulated cycles covered by fast-forward
+}
+
 // MatmulRow is one bar group of Figures 19-21. Digest and Events identify
 // the full event trace of the run (experiment E4): two runs of the same
 // variant and machine size must agree on them exactly, regardless of the
@@ -58,6 +85,10 @@ type MatmulRow struct {
 	// Perf is the deterministic counter snapshot of the run; nil unless
 	// the Profile knob (lbp-bench -profile) is on.
 	Perf *perf.Snapshot `json:",omitempty"`
+
+	// Host is the host-side throughput of the run; nil unless the
+	// RecordThroughput knob (lbp-bench) is on.
+	Host *Throughput `json:",omitempty"`
 }
 
 // RunMatmul builds, runs and verifies one variant at h harts.
@@ -79,17 +110,21 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 	if Profile {
 		m.EnableProfiling()
 	}
+	m.SetSimWorkers(SimWorkers)
+	m.SetFastForward(FastForward)
 	if err := m.LoadProgram(prog); err != nil {
 		return MatmulRow{}, err
 	}
+	start := time.Now()
 	res, err := m.Run(workloads.MaxMatmulCycles(h))
+	wall := time.Since(start).Seconds()
 	if err != nil {
 		return MatmulRow{}, fmt.Errorf("figures: %s/%d: %w", v, h, err)
 	}
 	if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
 		return MatmulRow{}, err
 	}
-	return MatmulRow{
+	row := MatmulRow{
 		Variant: v,
 		Harts:   h,
 		Cycles:  res.Stats.Cycles,
@@ -100,7 +135,19 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,
 		Digest:  rec.Digest(),
 		Events:  rec.Count(),
-	}, nil
+	}
+	if RecordThroughput {
+		t := &Throughput{
+			WallSec:       wall,
+			SimWorkers:    m.SimWorkers(),
+			FastForwarded: res.Stats.FastForwarded,
+		}
+		if wall > 0 {
+			t.CyclesPerSec = float64(res.Stats.Cycles) / wall
+		}
+		row.Host = t
+	}
+	return row, nil
 }
 
 // RunMatmulFigure runs all five variants for one machine size. The

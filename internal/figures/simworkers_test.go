@@ -1,0 +1,175 @@
+package figures
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/perf"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Intra-run equivalence matrix: the sharded cycle loop (SimWorkers) and
+// idle-cycle fast-forward are host-side accelerations, so every simulated
+// result — cycles, retired, digests, perf snapshots — must be bit-identical
+// across {workers 1, 2, GOMAXPROCS} × {fast-forward on/off} × {profiling
+// on/off}. Run under -race in tier-1, this also asserts the compute phase
+// shares no mutable state across shards.
+
+// withSimConfig runs f with the intra-run knobs set, restoring them after.
+func withSimConfig(t *testing.T, workers int, ffwd, profile bool, f func()) {
+	t.Helper()
+	oldW, oldF, oldP := SimWorkers, FastForward, Profile
+	SimWorkers, FastForward, Profile = workers, ffwd, profile
+	defer func() { SimWorkers, FastForward, Profile = oldW, oldF, oldP }()
+	f()
+}
+
+func TestSimWorkersEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence matrix is long")
+	}
+	const h = 64 // 16 cores: enough active cores to engage the shard pool
+	workerVals := []int{1, 2}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 {
+		workerVals = append(workerVals, g)
+	}
+	var base *MatmulRow
+	var basePerf *perf.Snapshot
+	for _, w := range workerVals {
+		for _, ffwd := range []bool{false, true} {
+			for _, profile := range []bool{false, true} {
+				var row MatmulRow
+				var err error
+				withSimConfig(t, w, ffwd, profile, func() {
+					row, err = RunMatmul(workloads.Distributed, h)
+				})
+				if err != nil {
+					t.Fatalf("workers=%d ffwd=%v profile=%v: %v", w, ffwd, profile, err)
+				}
+				snap := row.Perf
+				row.Perf = nil // compared separately: nil unless profiling
+				if base == nil {
+					base = &row
+				} else if !reflect.DeepEqual(*base, row) {
+					t.Errorf("workers=%d ffwd=%v profile=%v: row diverged:\n got %+v\nwant %+v",
+						w, ffwd, profile, row, *base)
+				}
+				if !profile {
+					continue
+				}
+				if snap == nil {
+					t.Fatalf("workers=%d ffwd=%v: no perf snapshot with profiling on", w, ffwd)
+				}
+				if basePerf == nil {
+					basePerf = snap
+				} else if !reflect.DeepEqual(basePerf, snap) {
+					t.Errorf("workers=%d ffwd=%v: perf snapshot diverged", w, ffwd)
+				}
+			}
+		}
+	}
+}
+
+// sensorOutcome is everything observable from one sensor-fusion run.
+type sensorOutcome struct {
+	cycles  uint64
+	retired uint64
+	digest  uint64
+	events  uint64
+	skipped uint64 // Stats.FastForwarded — excluded from equivalence
+	writes  []lbp.ActuatorWrite
+}
+
+// runSensorFusion runs the Figure 16 sensor-fusion program with the given
+// host knobs and returns the outcome.
+func runSensorFusion(t *testing.T, prog *asm.Program, workers int, ffwd bool, extra lbp.Device) sensorOutcome {
+	t.Helper()
+	m := lbp.New(lbp.DefaultConfig(1))
+	rec := trace.New(0)
+	m.SetTrace(rec)
+	m.SetSimWorkers(workers)
+	m.SetFastForward(ffwd)
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.AddDevice(&lbp.Sensor{
+			ValueAddr: prog.Symbols["sval"] + uint32(4*i),
+			FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
+			Events: []lbp.SensorEvent{
+				{Cycle: 1000 + uint64(101*i), Value: uint32(10 * (i + 1))},
+				{Cycle: 4000 + uint64(57*i), Value: uint32(20 * (i + 1))},
+			},
+		})
+	}
+	act := &lbp.Actuator{
+		ValueAddr: prog.Symbols["factuator"],
+		SeqAddr:   prog.Symbols["aseq"],
+	}
+	m.AddDevice(act)
+	if extra != nil {
+		m.AddDevice(extra)
+	}
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sensorOutcome{
+		cycles:  res.Stats.Cycles,
+		retired: res.Stats.Retired,
+		digest:  rec.Digest(),
+		events:  rec.Count(),
+		skipped: res.Stats.FastForwarded,
+		writes:  act.Writes,
+	}
+}
+
+// opaqueDevice implements lbp.Device but not lbp.Armed: its presence must
+// inhibit fast-forward entirely (the machine cannot know when it acts).
+type opaqueDevice struct{}
+
+func (opaqueDevice) Step(m *lbp.Machine, now uint64) {}
+
+func TestSensorFastForwardEquivalence(t *testing.T) {
+	asmText, err := cc.BuildProgram(workloads.SensorFusionSource(2), cc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runSensorFusion(t, prog, 1, false, nil)
+	if len(baseline.writes) == 0 {
+		t.Fatal("sensor fusion produced no actuator writes")
+	}
+	for _, w := range []int{1, 2} {
+		for _, ffwd := range []bool{false, true} {
+			got := runSensorFusion(t, prog, w, ffwd, nil)
+			skipped := got.skipped
+			got.skipped = baseline.skipped
+			if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("workers=%d ffwd=%v: outcome diverged:\n got %+v\nwant %+v",
+					w, ffwd, got, baseline)
+			}
+			if ffwd && skipped == 0 {
+				t.Errorf("workers=%d: fast-forward never engaged on a device-idle workload", w)
+			}
+		}
+	}
+	// A device without NextArm makes idle gaps unskippable: the machine
+	// must fall back to single-stepping (and still agree on the results).
+	opaque := runSensorFusion(t, prog, 1, true, opaqueDevice{})
+	if opaque.skipped != 0 {
+		t.Errorf("fast-forward engaged despite a device without NextArm (skipped %d cycles)", opaque.skipped)
+	}
+	opaque.skipped = baseline.skipped
+	if !reflect.DeepEqual(opaque, baseline) {
+		t.Errorf("opaque device changed simulated results:\n got %+v\nwant %+v", opaque, baseline)
+	}
+}

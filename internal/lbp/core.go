@@ -19,17 +19,36 @@ type core struct {
 	fetchRR, renameRR, issueRR, wbRR, commitRR int
 
 	perf *perf.CoreCounters // stage-occupancy counters (always counted)
+
+	// Phase-A outputs: the ordered stream of deferred cross-core/global
+	// effects and the cycle's trace events, both drained by
+	// Machine.applyPending (phase B); whole-run statistic counters
+	// folded into the totals by Machine.result; and the
+	// did-any-hart-commit flag. activeEdge
+	// marks a busy-count 0<->nonzero transition (active-list rebuild);
+	// freeSnap is the cycle-start "has a free hart" snapshot the
+	// *previous* core's p_fn issue check reads race-free.
+	pend                              []pendItem
+	evbuf                             []trace.Event
+	statFetched, statForks, statSends uint64
+	committed                         bool
+	activeEdge                        bool
+	freeSnap                          bool
 }
 
-// step advances the core by one cycle. Stages run in reverse pipeline
-// order so that a stage's output is consumed by the next stage one cycle
-// later at the earliest.
-func (c *core) step(now uint64) {
+// stepCompute advances the core by one cycle (phase A). Stages run in
+// reverse pipeline order so that a stage's output is consumed by the
+// next stage one cycle later at the earliest. It mutates only this
+// core's state — everything cross-core or machine-global lands in the
+// pending stream — and reports whether any stage did work.
+func (c *core) stepCompute(now uint64) bool {
+	start := c.perf.StageBusy
 	c.commit(now)
 	c.writeback(now)
 	c.issue(now)
 	c.rename(now)
 	c.fetch(now)
+	return c.perf.StageBusy != start
 }
 
 // Each stage scans the harts with rotating priority (deterministic round
@@ -66,11 +85,11 @@ func (c *core) fetch(now uint64) {
 	h.syncmWait = false
 	in, ok := c.m.decodedAt(h.pc)
 	if !ok {
-		c.m.faultf(c.idx, h.idx, "instruction fetch from unmapped pc %#x", h.pc)
+		c.faultf(h.idx, "instruction fetch from unmapped pc %#x", h.pc)
 		return
 	}
 	if in.Op == isa.OpInvalid {
-		c.m.faultf(c.idx, h.idx, "invalid instruction %#08x at pc %#x", in.Raw, h.pc)
+		c.faultf(h.idx, "invalid instruction %#08x at pc %#x", in.Raw, h.pc)
 		return
 	}
 	u := h.newUop()
@@ -78,8 +97,8 @@ func (c *core) fetch(now uint64) {
 	u.pc = h.pc
 	h.ib = u
 	h.pcValid = false
-	c.m.stats.Fetched++
-	c.m.event(trace.KindFetch, c.idx, h.idx, uint64(u.pc))
+	c.statFetched++
+	c.emit(trace.KindFetch, h.idx, uint64(u.pc))
 }
 
 // ---- decode/rename stage ---------------------------------------------
@@ -220,7 +239,10 @@ func (c *core) canIssue(h *hart, u *uop) bool {
 		if c.idx+1 >= len(c.m.cores) {
 			return true
 		}
-		return c.m.cores[c.idx+1].freeHart() != nil
+		// The cycle-start snapshot, not live state: the next core's own
+		// compute phase may be allocating or freeing harts concurrently.
+		// The allocation itself re-resolves in phase B, in core order.
+		return c.m.cores[c.idx+1].freeSnap
 	}
 	return true
 }
@@ -286,7 +308,7 @@ func (c *core) execJump(h *hart, u *uop, now uint64) {
 		// local target pc was produced at rename; start the continuation
 		// on the designated hart.
 		u.value = 0 // "clear rd"
-		c.sendStart(h, resolveLink(u.src1), cont, now)
+		c.sendStart(h, resolveLink(u.src1), cont)
 		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
 	case isa.OpPJALR:
 		if u.isRet {
@@ -299,7 +321,7 @@ func (c *core) execJump(h *hart, u *uop, now uint64) {
 		h.pc = u.src2 &^ 1
 		h.pcValid = true
 		h.pcReadyCycle = now + 1
-		c.sendStart(h, resolveLink(u.src1), cont, now)
+		c.sendStart(h, resolveLink(u.src1), cont)
 		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
 	}
 }
@@ -309,22 +331,18 @@ func (c *core) execLoad(h *hart, u *uop, now uint64) {
 	addr := u.src1 + uint32(in.Imm)
 	w, signed := memWidth(in.Op)
 	if addr%uint32(w) != 0 {
-		c.m.faultf(c.idx, h.idx, "misaligned load of width %d at %#x (pc %#x)", w, addr, u.pc)
+		c.faultf(h.idx, "misaligned load of width %d at %#x (pc %#x)", w, addr, u.pc)
 		return
 	}
 	u.memWait = true
 	c.startExec(h, u, ^uint64(0))
 	h.inflightMem++
-	ok := c.m.Mem.SubmitLoad(now, c.idx, addr, mem.Width(w), signed,
-		func(v uint32, done uint64) {
-			u.value = v
-			u.memWait = false
-			h.execReadyAt = done
-			h.inflightMem--
-		})
-	if !ok {
-		c.m.faultf(c.idx, h.idx, "load from unmapped address %#x (pc %#x)", addr, u.pc)
+	if !c.m.Mem.DataMapped(addr) {
+		c.faultf(h.idx, "load from unmapped address %#x (pc %#x)", addr, u.pc)
+		return
 	}
+	c.pend = append(c.pend, pendItem{kind: pendLoad, h: h, u: u,
+		a: addr, w: mem.Width(w), signed: signed})
 }
 
 func (c *core) execStore(h *hart, u *uop, now uint64) {
@@ -332,16 +350,16 @@ func (c *core) execStore(h *hart, u *uop, now uint64) {
 	addr := u.src1 + uint32(in.Imm)
 	w, _ := memWidth(in.Op)
 	if addr%uint32(w) != 0 {
-		c.m.faultf(c.idx, h.idx, "misaligned store of width %d at %#x (pc %#x)", w, addr, u.pc)
+		c.faultf(h.idx, "misaligned store of width %d at %#x (pc %#x)", w, addr, u.pc)
 		return
 	}
 	h.inflightMem++
-	ok := c.m.Mem.SubmitStore(now, c.idx, addr, u.src2, mem.Width(w),
-		func(done uint64) { h.inflightMem-- })
-	if !ok {
-		c.m.faultf(c.idx, h.idx, "store to unmapped address %#x (pc %#x)", addr, u.pc)
+	if !c.m.Mem.DataMapped(addr) {
+		c.faultf(h.idx, "store to unmapped address %#x (pc %#x)", addr, u.pc)
 		return
 	}
+	c.pend = append(c.pend, pendItem{kind: pendStore, h: h,
+		a: addr, b: u.src2, w: mem.Width(w)})
 	u.done = true
 }
 
@@ -409,13 +427,13 @@ func (c *core) commit(now uint64) {
 	h.perf.Commits++
 	h.perf.Retired[u.cls]++
 	c.perf.StageBusy[perf.StageCommit]++
-	c.m.progress = now
-	c.m.event(trace.KindCommit, c.idx, h.idx, uint64(u.pc))
+	c.committed = true
+	c.emit(trace.KindCommit, h.idx, uint64(u.pc))
 	switch {
 	case u.isRet:
-		c.m.doRet(h, u, now)
+		c.doRet(h, u, now)
 	case u.inst.Op == isa.OpECALL || u.inst.Op == isa.OpEBREAK:
-		c.m.halt(u.inst.Op.String())
+		c.deferHalt(u.inst.Op.String())
 	}
 	h.freeUop(u)
 }

@@ -40,6 +40,15 @@ func (s *Sensor) Step(m *Machine, now uint64) {
 	}
 }
 
+// NextArm implements Armed: a sensor acts at its next scheduled arrival,
+// so idle-cycle fast-forward may never jump past it.
+func (s *Sensor) NextArm(now uint64) (uint64, bool) {
+	if s.next >= len(s.Events) {
+		return 0, false
+	}
+	return s.Events[s.next].Cycle, true
+}
+
 // ActuatorWrite is one observed output.
 type ActuatorWrite struct {
 	Cycle uint64
@@ -70,3 +79,10 @@ func (a *Actuator) Step(m *Machine, now uint64) {
 	a.Writes = append(a.Writes, ActuatorWrite{Cycle: now, Value: v})
 	m.event(trace.KindIO, -2, 0, uint64(v))
 }
+
+// NextArm implements Armed: the watched sequence word only changes when a
+// store is applied, which happens exclusively inside memory events, so an
+// actuator never needs to wake the machine on its own. Fast-forward lands
+// exactly on the next memory-event cycle, where the poll observes the
+// change at the same cycle single-stepping would.
+func (a *Actuator) NextArm(now uint64) (uint64, bool) { return 0, false }

@@ -124,12 +124,12 @@ func (h *hart) setState(s hartState) {
 	if s == hartFree {
 		c.busy--
 		if c.busy == 0 {
-			c.m.activeDirty = true
+			c.activeEdge = true
 		}
 	} else {
 		c.busy++
 		if c.busy == 1 {
-			c.m.activeDirty = true
+			c.activeEdge = true
 		}
 	}
 }

@@ -2,6 +2,7 @@ package lbp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
@@ -20,9 +21,9 @@ type Machine struct {
 	// Active-core fast path: only cores with at least one non-free hart
 	// are stepped. The list is kept in core-index order (so skipping is
 	// bit-identical to stepping every core: an all-free core's pipeline
-	// stages are no-ops) and rebuilt lazily on hart lifecycle edges.
-	active      []*core
-	activeDirty bool
+	// stages are no-ops) and rebuilt on hart lifecycle edges, which cores
+	// flag race-free on their own activeEdge bit.
+	active []*core
 
 	cycle    uint64
 	running  bool
@@ -47,6 +48,16 @@ type Machine struct {
 	cperf     []perf.CoreCounters // indexed by core
 	tick      tickFn
 	profiling bool
+
+	// Host-side execution knobs (never affect simulated results):
+	// tracing mirrors rec != nil for the phase-A emit guard, simWorkers
+	// shards the compute phase across host threads, fastFwd enables
+	// idle-cycle fast-forward, pool is the lazily-built worker pool.
+	tracing    bool
+	seqTrace   bool // this cycle's phase A is serial: emit folds events live
+	simWorkers int
+	fastFwd    bool
+	pool       *stepPool
 }
 
 // emitFn receives one machine event. Keeping the disabled path behind a
@@ -79,6 +90,12 @@ type Stats struct {
 	Signals     uint64
 	RemoteSends uint64 // p_swre messages
 	PerHart     []uint64
+
+	// FastForwarded counts simulated cycles covered by idle-cycle
+	// fast-forward instead of being single-stepped. It is a host-side
+	// diagnostic: Cycles and every other counter already include the
+	// skipped cycles, so equivalence checks must ignore this field.
+	FastForwarded uint64 `json:"FastForwarded,omitempty"`
 }
 
 // IPC returns retired instructions per cycle.
@@ -98,10 +115,11 @@ func New(cfg Config) *Machine {
 		cfg.Mem.Cores = cfg.Cores
 	}
 	m := &Machine{
-		cfg:  cfg,
-		Mem:  mem.New(cfg.Mem),
-		emit: noopEmit,
-		tick: noopTick,
+		cfg:     cfg,
+		Mem:     mem.New(cfg.Mem),
+		emit:    noopEmit,
+		tick:    noopTick,
+		fastFwd: true,
 	}
 	if cfg.LivelockWindow == 0 {
 		m.cfg.LivelockWindow = 100000
@@ -135,6 +153,7 @@ func (m *Machine) Config() Config { return m.cfg }
 // SetTrace attaches an event recorder (nil disables tracing).
 func (m *Machine) SetTrace(r *trace.Recorder) {
 	m.rec = r
+	m.tracing = r != nil
 	if r == nil {
 		m.emit = noopEmit
 		return
@@ -188,7 +207,6 @@ func (m *Machine) rebuildActive() {
 			m.active = append(m.active, c)
 		}
 	}
-	m.activeDirty = false
 }
 
 // faultf records a machine fault and stops the run. Faults are
@@ -246,12 +264,26 @@ type Result struct {
 }
 
 // Run advances the machine until the program exits or maxCycles elapse.
+//
+// Each cycle: memory events and devices step first (serial), then phase A
+// computes every active core — inline, or sharded across the worker pool —
+// and phase B applies the pending streams in core-index order. A cycle on
+// which no pipeline stage did work cannot make progress until the next
+// memory event, device arm or hart time gate, so the clock fast-forwards
+// there (see phase.go). Simulated results are identical for every worker
+// count and with fast-forward on or off.
 func (m *Machine) Run(maxCycles uint64) (*Result, error) {
 	if m.running {
 		return nil, fmt.Errorf("lbp: machine already ran; create a new one")
 	}
 	m.running = true
 	m.progress = 0
+	if w := m.SimWorkers(); w > 1 && m.pool == nil {
+		m.pool = newStepPool(w)
+	}
+	if m.pool != nil {
+		defer m.pool.stop()
+	}
 	for !m.exited {
 		m.cycle++
 		if m.cycle > maxCycles {
@@ -265,16 +297,42 @@ func (m *Machine) Run(maxCycles uint64) (*Result, error) {
 		for _, d := range m.devices {
 			d.Step(m, m.cycle)
 		}
-		if m.activeDirty {
+		dirty := false
+		for _, c := range m.cores {
+			if c.activeEdge {
+				c.activeEdge = false
+				dirty = true
+			}
+			// Cycle-start snapshot read by the previous core's p_fn issue
+			// check — the same value the old sequential step observed,
+			// since only Mem.Step and devices ran since the last phase B.
+			c.freeSnap = c.busy < HartsPerCore
+		}
+		if dirty {
 			m.rebuildActive()
 		}
-		for _, c := range m.active {
-			c.step(m.cycle)
+		activity := false
+		if m.pool != nil && len(m.active) >= minShardCores {
+			// Sharded cycle: every core buffers its events; the flag is
+			// settled before the workers start and only read by them.
+			m.seqTrace = false
+			activity = m.pool.stepParallel(m.active, m.cycle)
+		} else {
+			m.seqTrace = m.tracing
+			for _, c := range m.active {
+				if c.stepCompute(m.cycle) {
+					activity = true
+				}
+			}
 		}
+		m.applyPending(m.cycle)
 		m.tick(m.cycle)
 		if m.cycle-m.progress > m.cfg.LivelockWindow {
 			m.faultf(-1, -1, "no progress for %d cycles (deadlock?)%s",
 				m.cfg.LivelockWindow, m.stuckReport())
+		}
+		if !activity && m.fastFwd && !m.exited {
+			m.fastForward(m.cycle, maxCycles)
 		}
 	}
 	if m.err != nil {
@@ -292,8 +350,16 @@ func (m *Machine) result() *Result {
 		Joins:   m.stats.Joins,
 		Signals: m.stats.Signals,
 
-		RemoteSends: m.stats.RemoteSends,
-		PerHart:     make([]uint64, len(m.harts)),
+		RemoteSends:   m.stats.RemoteSends,
+		FastForwarded: m.stats.FastForwarded,
+		PerHart:       make([]uint64, len(m.harts)),
+	}
+	// The cores accumulate their own-phase counters for the whole run;
+	// fold them in here instead of every cycle.
+	for _, c := range m.cores {
+		st.Fetched += c.statFetched
+		st.Forks += c.statForks
+		st.RemoteSends += c.statSends
 	}
 	for i, h := range m.harts {
 		st.PerHart[i] = h.retired
@@ -304,20 +370,20 @@ func (m *Machine) result() *Result {
 
 // stuckReport describes non-free harts, to diagnose deadlocks and timeouts.
 func (m *Machine) stuckReport() string {
-	out := ""
+	var out strings.Builder
 	for _, h := range m.harts {
 		if h.state == hartFree {
 			continue
 		}
-		out += fmt.Sprintf("\n  core %d hart %d: state=%d pc=%#x pcValid=%v rob=%d it=%d inflight=%d hasPred=%v sig=%v",
+		fmt.Fprintf(&out, "\n  core %d hart %d: state=%d pc=%#x pcValid=%v rob=%d it=%d inflight=%d hasPred=%v sig=%v",
 			h.core.idx, h.idx, h.state, h.pc, h.pcValid, len(h.rob), len(h.it),
 			h.inflightMem, h.hasPred, h.predSignal)
 		if len(h.rob) > 0 {
 			u := h.rob[0]
-			out += fmt.Sprintf(" head=%s done=%v", isa.Disassemble(u.inst, u.pc), u.done)
+			fmt.Fprintf(&out, " head=%s done=%v", isa.Disassemble(u.inst, u.pc), u.done)
 		}
 	}
-	return out
+	return out.String()
 }
 
 // ReadShared reads a word from shared memory after (or during) a run.

@@ -1,0 +1,467 @@
+package lbp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Two-phase stepping. Each cycle the active cores first run a compute
+// phase (phase A) that reads only core-local state plus immutable or
+// cycle-start-snapshot views of the rest of the machine, and records
+// every cross-core or machine-global effect — memory submissions,
+// forward/backward control messages, next-core fork allocations, trace
+// events, statistic deltas, faults and halts — as an ordered per-core
+// pending stream. A commit phase (phase B) then applies the streams
+// serially in core-index order.
+//
+// Because phase A of one core neither reads nor writes another core's
+// mutable state, the compute phase can be sharded across host threads,
+// and because phase B replays the streams in the exact order the old
+// single-threaded step would have performed the underlying operations
+// (cores ascending, stage order within a core), link-slot allocation,
+// event scheduling and the trace digest are bit-identical for any
+// worker count — including worker count one, which runs the same two
+// phases inline. DESIGN.md §"Two-phase stepping" documents the one
+// deliberate semantic choice: cross-core effects become visible at the
+// cycle boundary, never mid-cycle.
+
+// pendKind tags one entry of a core's pending stream.
+type pendKind uint8
+
+const (
+	pendLoad     pendKind = iota // mem.SubmitLoad
+	pendStore                    // mem.SubmitStore
+	pendCV                       // mem.SubmitCVWrite
+	pendSwre                     // result value over the backward line
+	pendStart                    // start pc over the forward link
+	pendSignal                   // ending-hart signal over the forward link
+	pendJoin                     // join address over the backward line
+	pendForkNext                 // p_fn hart allocation on the next core
+	pendFault                    // deterministic machine fault
+	pendHalt                     // clean halt (exit, ebreak)
+)
+
+// pendItem is one deferred effect. The fields are a small union: a/b
+// carry (addr, value) or (pc, rb-slot), t the target hart or core, h/u
+// the issuing hart and instruction when the apply step must write back
+// into them. For pendForkNext, a holds 1 + the core's evbuf index of
+// the placeholder fork event (0 when tracing is off).
+type pendItem struct {
+	kind   pendKind
+	w      mem.Width
+	signed bool
+	a, b   uint32
+	t      uint32
+	h      *hart
+	u      *uop
+	msg    string
+}
+
+// emit records a trace event (phase A side of Machine.event). On a
+// sharded cycle events go to the core's event buffer — pointer-free and
+// an order of magnitude more frequent than actions, so a flat
+// trace.Event slice keeps the hot path free of GC write barriers — and
+// phase B drains the buffers in core order. Pending actions never reach
+// the recorder at the current cycle (their callbacks fire during later
+// Mem.Steps), so the drain reproduces the exact sequential emission
+// order. On a serial cycle (seqTrace) the same order is the live order,
+// and events fold straight into the recorder with no double handling —
+// until a p_fn, whose fork event value only exists in phase B, flips
+// the rest of the cycle onto the buffered path.
+func (c *core) emit(kind trace.Kind, hartIdx int, value uint64) {
+	if !c.m.tracing {
+		return
+	}
+	e := trace.Event{
+		Cycle: c.m.cycle, Core: uint16(c.idx), Hart: uint8(hartIdx),
+		Kind: kind, Value: value,
+	}
+	if c.m.seqTrace {
+		c.m.rec.Add(e)
+		return
+	}
+	c.evbuf = append(c.evbuf, e)
+}
+
+// faultf records a machine fault at its position in the stream, so that
+// the first fault in (core, stage) order wins exactly as it did under
+// sequential stepping. The message — identical to Machine.faultf's — is
+// fully formatted here; the fault path is cold.
+func (c *core) faultf(hartIdx int, format string, args ...any) {
+	c.pend = append(c.pend, pendItem{kind: pendFault, msg: fmt.Sprintf(
+		"lbp: cycle %d core %d hart %d: %s",
+		c.m.cycle, c.idx, hartIdx, fmt.Sprintf(format, args...))})
+}
+
+// deferHalt records a clean halt (p_ret exit identity, ecall/ebreak).
+func (c *core) deferHalt(msg string) {
+	c.pend = append(c.pend, pendItem{kind: pendHalt, msg: msg})
+}
+
+// applyPending is phase B: it replays every active core's pending
+// stream in core-index order. It must run on the coordinating
+// goroutine, after the phase-A barrier. (The per-core statistic
+// counters are cumulative and folded into the totals once, by
+// Machine.result — a per-cycle merge over 64 cores is measurable.)
+func (m *Machine) applyPending(now uint64) {
+	for _, c := range m.active {
+		if c.committed {
+			c.committed = false
+			m.progress = now
+		}
+		if len(c.pend) > 0 {
+			for i := range c.pend {
+				m.applyItem(c, &c.pend[i], now)
+			}
+			// Release pointers so pooled uops and harts are not pinned,
+			// then reuse the backing array next cycle.
+			clear(c.pend)
+			c.pend = c.pend[:0]
+		}
+		// Events drain after the actions so pendForkNext has patched its
+		// placeholder; see the ordering argument on emit. evbuf is only
+		// filled when tracing, which implies a recorder.
+		if len(c.evbuf) > 0 {
+			m.rec.AddBatch(c.evbuf)
+			c.evbuf = c.evbuf[:0]
+		}
+	}
+}
+
+// applyItem performs one deferred effect. The mutations here are the
+// exact statements the pre-two-phase pipeline executed inline, in the
+// same order relative to each other.
+func (m *Machine) applyItem(c *core, it *pendItem, now uint64) {
+	switch it.kind {
+	case pendLoad:
+		h, u := it.h, it.u
+		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed,
+			func(v uint32, done uint64) {
+				u.value = v
+				u.memWait = false
+				h.execReadyAt = done
+				h.inflightMem--
+			})
+	case pendStore:
+		h := it.h
+		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w,
+			func(done uint64) { h.inflightMem-- })
+	case pendCV:
+		h := it.h
+		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b,
+			func(done uint64) { h.inflightMem-- })
+	case pendSwre:
+		th := m.harts[it.t]
+		idx := int(it.b)
+		val := it.a
+		pc := it.u.pc
+		hidx := it.h.idx
+		tgt := it.t
+		err := m.Mem.SendBackward(now, c.idx, th.core.idx, func(done uint64) {
+			if !th.pushRemote(idx, val, m.cfg.RBDepth) {
+				m.faultf(c.idx, hidx, "p_swre overflowed result buffer %d of hart %d (pc %#x)", idx, tgt, pc)
+			}
+		})
+		if err != nil {
+			m.faultf(c.idx, hidx, "p_swre: %v", err)
+		}
+	case pendStart:
+		th := m.harts[it.t]
+		pc := it.a
+		tc := th.core.idx
+		hidx := it.h.idx
+		tgt := it.t
+		err := m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
+			if th.state != hartAllocated {
+				m.faultf(c.idx, hidx, "start for hart %d in state %d (not allocated)", tgt, th.state)
+				return
+			}
+			th.start(pc, done)
+			m.stats.Starts++
+			m.event(trace.KindStart, tc, th.idx, uint64(pc))
+		})
+		if err != nil {
+			m.faultf(c.idx, hidx, "start: %v", err)
+		}
+	case pendSignal:
+		th := m.harts[it.t]
+		link := it.t
+		tc := th.core.idx
+		err := m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
+			th.predSignal = true
+			m.stats.Signals++
+			m.event(trace.KindSignal, tc, th.idx, uint64(link))
+		})
+		if err != nil {
+			m.faultf(c.idx, it.h.idx, "ending signal: %v", err)
+		}
+	case pendJoin:
+		th := m.harts[it.t]
+		addr := it.a
+		tc := th.core.idx
+		hidx := it.h.idx
+		tgt := it.t
+		err := m.Mem.SendBackward(now, c.idx, tc, func(done uint64) {
+			if th.state != hartWaitJoin {
+				m.faultf(c.idx, hidx, "join for hart %d in state %d (not waiting)", tgt, th.state)
+				return
+			}
+			th.start(addr, done)
+			m.stats.Joins++
+			m.event(trace.KindJoin, tc, th.idx, uint64(addr))
+		})
+		if err != nil {
+			m.faultf(c.idx, hidx, "join: %v", err)
+		}
+	case pendForkNext:
+		// p_fn: the allocation happens here so the target core's own
+		// phase A never races it; the result value is patched before the
+		// earliest cycle writeback can read it.
+		target := m.cores[c.idx+1]
+		fh := target.freeHart()
+		if fh == nil {
+			// Drop the placeholder fork event: the sequential path emitted
+			// none on this fault. At most one p_fn executes per core per
+			// cycle, so no later item's index shifts.
+			if it.a != 0 {
+				c.evbuf = append(c.evbuf[:it.a-1], c.evbuf[it.a:]...)
+			}
+			m.faultf(c.idx, it.h.idx, "fork allocation raced (pc %#x)", it.u.pc)
+			return
+		}
+		fh.allocate(&m.cfg, it.h.gid, now)
+		it.u.value = fh.gid
+		m.stats.Forks++
+		if it.a != 0 {
+			c.evbuf[it.a-1].Value = uint64(fh.gid)
+		}
+	case pendFault:
+		if m.err == nil {
+			m.err = faultError(it.msg)
+		}
+		m.exited = true
+	case pendHalt:
+		m.halt(it.msg)
+	}
+}
+
+// ---- sharded phase-A worker pool --------------------------------------
+
+// minShardCores is the smallest active-core count worth fanning out: a
+// per-cycle channel barrier costs on the order of a microsecond, so tiny
+// machines step inline even when -simworkers asks for more. The choice
+// never affects results — phase A is embarrassingly parallel.
+const minShardCores = 8
+
+// stepPool runs phase A across persistent worker goroutines with a
+// per-cycle start/finish barrier.
+type stepPool struct {
+	n     int            // worker goroutine count (excluding coordinator)
+	start []chan uint64  // per-worker cycle kick
+	act   []bool         // per-worker activity result
+	shard [][]*core      // per-worker core slice, rebuilt with the active list
+	wg    sync.WaitGroup // per-cycle completion
+	quit  chan struct{}
+}
+
+// newStepPool spawns workers-1 goroutines (the coordinator steps the
+// first shard itself).
+func newStepPool(workers int) *stepPool {
+	p := &stepPool{
+		n:     workers - 1,
+		start: make([]chan uint64, workers-1),
+		act:   make([]bool, workers-1),
+		shard: make([][]*core, workers-1),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < p.n; i++ {
+		p.start[i] = make(chan uint64, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *stepPool) worker(i int) {
+	for {
+		select {
+		case now := <-p.start[i]:
+			act := false
+			for _, c := range p.shard[i] {
+				if c.stepCompute(now) {
+					act = true
+				}
+			}
+			p.act[i] = act
+			p.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *stepPool) stop() { close(p.quit) }
+
+// partition splits the active list into contiguous shards: shard 0 for
+// the coordinator, shards 1..n for the workers. Shard boundaries have no
+// observable effect — they only balance phase-A work.
+func (p *stepPool) partition(active []*core) []*core {
+	parts := p.n + 1
+	per := (len(active) + parts - 1) / parts
+	own := active[:per]
+	rest := active[per:]
+	for i := 0; i < p.n; i++ {
+		k := per
+		if k > len(rest) {
+			k = len(rest)
+		}
+		p.shard[i] = rest[:k]
+		rest = rest[k:]
+	}
+	return own
+}
+
+// stepParallel runs phase A for one cycle across the pool and reports
+// whether any stage on any core did work.
+func (p *stepPool) stepParallel(active []*core, now uint64) bool {
+	own := p.partition(active)
+	p.wg.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		p.start[i] <- now
+	}
+	activity := false
+	for _, c := range own {
+		if c.stepCompute(now) {
+			activity = true
+		}
+	}
+	p.wg.Wait()
+	for i := 0; i < p.n; i++ {
+		if p.act[i] {
+			activity = true
+		}
+	}
+	return activity
+}
+
+// SetSimWorkers sets the host worker count for intra-run sharded
+// stepping: 1 (the default) steps every core on the calling goroutine,
+// n > 1 fans the compute phase across n host threads, n <= 0 selects
+// GOMAXPROCS. Results, cycle counts, perf snapshots and trace digests
+// are identical for every value. Must be called before Run.
+func (m *Machine) SetSimWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.simWorkers = n
+}
+
+// SimWorkers reports the configured intra-run worker count.
+func (m *Machine) SimWorkers() int {
+	if m.simWorkers <= 0 {
+		return 1
+	}
+	return m.simWorkers
+}
+
+// SetFastForward enables or disables idle-cycle fast-forward (on by
+// default). Fast-forward never changes simulated cycle counts, stats,
+// perf snapshots or digests; the switch exists for the equivalence
+// tests and for timing-sensitive debugging.
+func (m *Machine) SetFastForward(on bool) { m.fastFwd = on }
+
+// ---- idle-cycle fast-forward ------------------------------------------
+
+// Armed is an optional Device capability: NextArm returns the earliest
+// future cycle at which the device will act on its own schedule (ok =
+// false when it never will). Devices that only react to memory writes —
+// which happen exclusively inside mem events — return (0, false).
+// A device that does not implement Armed inhibits fast-forward entirely.
+type Armed interface {
+	NextArm(now uint64) (uint64, bool)
+}
+
+// nextWake computes the first cycle after now at which anything can
+// happen: the earliest pending memory event, the earliest device arm
+// time, or the earliest per-hart time gate (a produced pc becoming
+// fetchable, a functional unit finishing). It is only meaningful on a
+// cycle with zero pipeline activity — then every future state change is
+// triggered by one of those three sources. Returns ok=false when a
+// device without NextArm forbids skipping.
+func (m *Machine) nextWake(now uint64) (uint64, bool) {
+	const never = ^uint64(0)
+	wake := never
+	if ec, ok := m.Mem.NextEventCycle(); ok {
+		wake = ec
+	}
+	for _, d := range m.devices {
+		a, ok := d.(Armed)
+		if !ok {
+			return 0, false
+		}
+		if cyc, armed := a.NextArm(now); armed && cyc < wake {
+			wake = cyc
+		}
+	}
+	for _, c := range m.active {
+		for _, h := range c.harts {
+			if h.state != hartRunning {
+				continue // allocated/waiting harts wake on queued messages
+			}
+			if h.pcValid && h.ib == nil && h.pcReadyCycle > now && h.pcReadyCycle < wake {
+				wake = h.pcReadyCycle
+			}
+			if h.exec != nil && !h.exec.memWait && h.execReadyAt > now && h.execReadyAt < wake {
+				wake = h.execReadyAt
+			}
+		}
+	}
+	return wake, true
+}
+
+// fastForward jumps the clock from a quiescent cycle `now` to just
+// before the next cycle at which the machine can change state, bulk-
+// crediting the skipped cycles to the stall-attribution counters so
+// that attribution still sums to exactly 100% of hart-cycles. The jump
+// is clamped so the cycle-budget and livelock checks fire at exactly
+// the cycle they would have under single-stepping.
+func (m *Machine) fastForward(now, maxCycles uint64) {
+	wake, ok := m.nextWake(now)
+	if !ok {
+		return
+	}
+	target := wake
+	if limit := maxCycles + 1; target > limit {
+		target = limit
+	}
+	if m.Mem.Drained() {
+		// With no events in flight the livelock window is frozen; land on
+		// the exact cycle the single-stepped run would have faulted at.
+		if ll := m.progress + m.cfg.LivelockWindow + 1; target > ll {
+			target = ll
+		}
+	}
+	if target <= now+1 {
+		return
+	}
+	skipped := target - now - 1
+	if m.profiling {
+		// classifyStall is a pure function of hart state, which is frozen
+		// across the skipped span, so one classification per hart stands
+		// for every skipped cycle.
+		for _, h := range m.harts {
+			h.perf.Stalls[classifyStall(h)] += skipped
+		}
+	}
+	m.stats.FastForwarded += skipped
+	m.cycle += skipped
+}
+
+// faultError adapts a preformatted phase-A fault message to the error
+// the sequential faultf path produces.
+type faultError string
+
+func (e faultError) Error() string { return string(e) }

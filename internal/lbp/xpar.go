@@ -58,30 +58,45 @@ func (c *core) execXPar(h *hart, u *uop, now uint64) {
 	in := &u.inst
 	lat := now + uint64(c.m.cfg.ALULat)
 	switch in.Op {
-	case isa.OpPFC, isa.OpPFN:
-		target := c
-		if in.Op == isa.OpPFN {
-			if c.idx+1 >= len(c.m.cores) {
-				c.m.faultf(c.idx, h.idx, "p_fn past the last core (pc %#x)", u.pc)
-				return
-			}
-			target = c.m.cores[c.idx+1]
-		}
-		var fh *hart
-		if in.Op == isa.OpPFC {
-			fh = target.freeHartAfter(h.idx)
-		} else {
-			fh = target.freeHart()
-		}
+	case isa.OpPFC:
+		// Same-core fork: the allocation is core-local, so it happens in
+		// phase A like every other own-state mutation.
+		fh := c.freeHartAfter(h.idx)
 		if fh == nil {
 			// canIssue guarantees availability
-			c.m.faultf(c.idx, h.idx, "fork allocation raced (pc %#x)", u.pc)
+			c.faultf(h.idx, "fork allocation raced (pc %#x)", u.pc)
 			return
 		}
 		fh.allocate(&c.m.cfg, h.gid, now)
 		u.value = fh.gid
-		c.m.stats.Forks++
-		c.m.event(trace.KindFork, c.idx, h.idx, uint64(fh.gid))
+		c.statForks++
+		c.emit(trace.KindFork, h.idx, uint64(fh.gid))
+		c.startExec(h, u, lat)
+	case isa.OpPFN:
+		// Next-core fork: the allocation mutates the neighbor, so it is
+		// deferred to phase B, which re-resolves the free hart in core
+		// order and patches u.value before writeback can read it. The
+		// fork event's value (the new gid) is unknown until then, so a
+		// placeholder is reserved at the event's sequential position and
+		// patched by the same item.
+		if c.idx+1 >= len(c.m.cores) {
+			c.faultf(h.idx, "p_fn past the last core (pc %#x)", u.pc)
+			return
+		}
+		var evIdx uint32
+		if c.m.tracing {
+			if c.m.seqTrace {
+				// Serial cycles fold events live; from here to the cycle
+				// boundary they must buffer instead, so the placeholder can
+				// be patched before it reaches the digest. (Read-guarded:
+				// on sharded cycles the flag is already false and workers
+				// only read it.)
+				c.m.seqTrace = false
+			}
+			c.emit(trace.KindFork, h.idx, 0)
+			evIdx = uint32(len(c.evbuf))
+		}
+		c.pend = append(c.pend, pendItem{kind: pendForkNext, h: h, u: u, a: evIdx})
 		c.startExec(h, u, lat)
 	case isa.OpPSET:
 		u.value = isa.PSet(u.src1, h.gid)
@@ -92,14 +107,14 @@ func (c *core) execXPar(h *hart, u *uop, now uint64) {
 	case isa.OpPLWRE:
 		v, ok := h.popRemote(int(in.Imm))
 		if !ok {
-			c.m.faultf(c.idx, h.idx, "p_lwre from empty result buffer %d (pc %#x)", in.Imm, u.pc)
+			c.faultf(h.idx, "p_lwre from empty result buffer %d (pc %#x)", in.Imm, u.pc)
 			return
 		}
 		u.value = v
-		c.m.event(trace.KindRecv, c.idx, h.idx, uint64(v))
+		c.emit(trace.KindRecv, h.idx, uint64(v))
 		c.startExec(h, u, lat)
 	default:
-		c.m.faultf(c.idx, h.idx, "unhandled X_PAR op %v (pc %#x)", in.Op, u.pc)
+		c.faultf(h.idx, "unhandled X_PAR op %v (pc %#x)", in.Op, u.pc)
 	}
 }
 
@@ -110,22 +125,21 @@ func (c *core) execSwcv(h *hart, u *uop, now uint64) {
 	tgt := resolveLink(u.src1)
 	th := c.m.Hart(tgt)
 	if th == nil {
-		c.m.faultf(c.idx, h.idx, "p_swcv to nonexistent hart %d (pc %#x)", tgt, u.pc)
+		c.faultf(h.idx, "p_swcv to nonexistent hart %d (pc %#x)", tgt, u.pc)
 		return
 	}
 	tc := th.core.idx
 	if tc != c.idx && tc != c.idx+1 {
-		c.m.faultf(c.idx, h.idx, "p_swcv target hart %d is not on the same or next core (pc %#x)", tgt, u.pc)
+		c.faultf(h.idx, "p_swcv target hart %d is not on the same or next core (pc %#x)", tgt, u.pc)
 		return
 	}
 	addr := c.m.cfg.SPInit(th.idx) + uint32(u.inst.Imm)
 	h.inflightMem++
-	ok := c.m.Mem.SubmitCVWrite(now, c.idx, tc, addr, u.src2,
-		func(done uint64) { h.inflightMem-- })
-	if !ok {
-		c.m.faultf(c.idx, h.idx, "p_swcv to unmapped stack address %#x (pc %#x)", addr, u.pc)
+	if !c.m.Mem.LocalMapped(addr) {
+		c.faultf(h.idx, "p_swcv to unmapped stack address %#x (pc %#x)", addr, u.pc)
 		return
 	}
+	c.pend = append(c.pend, pendItem{kind: pendCV, h: h, t: uint32(tc), a: addr, b: u.src2})
 	u.done = true
 }
 
@@ -135,57 +149,34 @@ func (c *core) execSwre(h *hart, u *uop, now uint64) {
 	tgt := resolveHome(u.src1)
 	th := c.m.Hart(tgt)
 	if th == nil {
-		c.m.faultf(c.idx, h.idx, "p_swre to nonexistent hart %d (pc %#x)", tgt, u.pc)
+		c.faultf(h.idx, "p_swre to nonexistent hart %d (pc %#x)", tgt, u.pc)
 		return
 	}
-	tc := th.core.idx
-	if tc > c.idx {
-		c.m.faultf(c.idx, h.idx, "p_swre target hart %d is on a later core (pc %#x)", tgt, u.pc)
+	if th.core.idx > c.idx {
+		c.faultf(h.idx, "p_swre target hart %d is on a later core (pc %#x)", tgt, u.pc)
 		return
 	}
-	idx := int(u.inst.Imm)
-	val := u.src2
-	pc := u.pc
-	hidx := h.idx
-	err := c.m.Mem.SendBackward(now, c.idx, tc, func(done uint64) {
-		if !th.pushRemote(idx, val, c.m.cfg.RBDepth) {
-			c.m.faultf(c.idx, hidx, "p_swre overflowed result buffer %d of hart %d (pc %#x)", idx, tgt, pc)
-		}
-	})
-	if err != nil {
-		c.m.faultf(c.idx, h.idx, "p_swre: %v", err)
-		return
-	}
-	c.m.stats.RemoteSends++
-	c.m.event(trace.KindSend, c.idx, h.idx, uint64(val))
+	c.pend = append(c.pend, pendItem{kind: pendSwre, h: h, u: u,
+		t: tgt, a: u.src2, b: uint32(u.inst.Imm)})
+	c.statSends++
+	c.emit(trace.KindSend, h.idx, uint64(u.src2))
 	u.done = true
 }
 
 // sendStart delivers a start pc to an allocated hart (fork continuation).
-func (c *core) sendStart(h *hart, tgt uint32, pc uint32, now uint64) {
+// The validation runs in phase A; the forward-link traversal is deferred.
+func (c *core) sendStart(h *hart, tgt uint32, pc uint32) {
 	th := c.m.Hart(tgt)
 	if th == nil {
-		c.m.faultf(c.idx, h.idx, "start for nonexistent hart %d", tgt)
+		c.faultf(h.idx, "start for nonexistent hart %d", tgt)
 		return
 	}
 	tc := th.core.idx
 	if tc != c.idx && tc != c.idx+1 {
-		c.m.faultf(c.idx, h.idx, "start target hart %d is not on the same or next core", tgt)
+		c.faultf(h.idx, "start target hart %d is not on the same or next core", tgt)
 		return
 	}
-	hidx := h.idx
-	err := c.m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
-		if th.state != hartAllocated {
-			c.m.faultf(c.idx, hidx, "start for hart %d in state %d (not allocated)", tgt, th.state)
-			return
-		}
-		th.start(pc, done)
-		c.m.stats.Starts++
-		c.m.event(trace.KindStart, tc, th.idx, uint64(pc))
-	})
-	if err != nil {
-		c.m.faultf(c.idx, h.idx, "start: %v", err)
-	}
+	c.pend = append(c.pend, pendItem{kind: pendStart, h: h, t: tgt, a: pc})
 }
 
 // doRet performs the four ending types of a committed p_ret (Figure 6):
@@ -197,14 +188,14 @@ func (c *core) sendStart(h *hart, tgt uint32, pc uint32, now uint64) {
 //
 // All types forward the ending-hart signal to the link hart, realizing
 // the in-order hardware barrier between team members.
-func (m *Machine) doRet(h *hart, u *uop, now uint64) {
+func (c *core) doRet(h *hart, u *uop, now uint64) {
 	ra, t0 := u.retRA, u.retT0
 	if h.hasPred {
 		h.hasPred = false
 		h.predSignal = false
 	}
 	if ra == 0 && t0 == 0xFFFFFFFF {
-		m.halt("exit")
+		c.deferHalt("exit")
 		return
 	}
 	valid := t0&isa.HartIDValid != 0
@@ -214,7 +205,7 @@ func (m *Machine) doRet(h *hart, u *uop, now uint64) {
 	}
 	self := h.gid
 	if valid && link != isa.NoLink && link != self {
-		m.sendSignal(h, link, now)
+		c.sendSignal(h, link)
 	}
 	switch {
 	case ra == 0 && valid && home == self:
@@ -231,58 +222,38 @@ func (m *Machine) doRet(h *hart, u *uop, now uint64) {
 		h.pcReadyCycle = now + 1
 	case valid:
 		// ending type 4: send the join address backward to the home hart
-		m.sendJoin(h, home, ra, now)
+		c.sendJoin(h, home, ra)
 		h.free(now)
 	default:
-		m.faultf(h.core.idx, h.idx, "p_ret with ra=%#x but invalid identity t0=%#x (pc %#x)", ra, t0, u.pc)
+		c.faultf(h.idx, "p_ret with ra=%#x but invalid identity t0=%#x (pc %#x)", ra, t0, u.pc)
 	}
 }
 
 // sendSignal forwards the ending-hart signal to the successor team member.
-func (m *Machine) sendSignal(h *hart, link uint32, now uint64) {
-	th := m.Hart(link)
+func (c *core) sendSignal(h *hart, link uint32) {
+	th := c.m.Hart(link)
 	if th == nil {
-		m.faultf(h.core.idx, h.idx, "ending signal to nonexistent hart %d", link)
+		c.faultf(h.idx, "ending signal to nonexistent hart %d", link)
 		return
 	}
-	fc, tc := h.core.idx, th.core.idx
-	if tc != fc && tc != fc+1 {
-		m.faultf(h.core.idx, h.idx, "ending signal target hart %d is not on the same or next core", link)
+	tc := th.core.idx
+	if tc != c.idx && tc != c.idx+1 {
+		c.faultf(h.idx, "ending signal target hart %d is not on the same or next core", link)
 		return
 	}
-	err := m.Mem.SendForward(now, fc, tc, func(done uint64) {
-		th.predSignal = true
-		m.stats.Signals++
-		m.event(trace.KindSignal, tc, th.idx, uint64(link))
-	})
-	if err != nil {
-		m.faultf(h.core.idx, h.idx, "ending signal: %v", err)
-	}
+	c.pend = append(c.pend, pendItem{kind: pendSignal, h: h, t: link})
 }
 
 // sendJoin delivers a join address backward to the home hart.
-func (m *Machine) sendJoin(h *hart, home uint32, addr uint32, now uint64) {
-	th := m.Hart(home)
+func (c *core) sendJoin(h *hart, home uint32, addr uint32) {
+	th := c.m.Hart(home)
 	if th == nil {
-		m.faultf(h.core.idx, h.idx, "join to nonexistent hart %d", home)
+		c.faultf(h.idx, "join to nonexistent hart %d", home)
 		return
 	}
-	fc, tc := h.core.idx, th.core.idx
-	if tc > fc {
-		m.faultf(h.core.idx, h.idx, "join target hart %d is on a later core (a data cannot go back in time)", home)
+	if th.core.idx > c.idx {
+		c.faultf(h.idx, "join target hart %d is on a later core (a data cannot go back in time)", home)
 		return
 	}
-	hidx := h.idx
-	err := m.Mem.SendBackward(now, fc, tc, func(done uint64) {
-		if th.state != hartWaitJoin {
-			m.faultf(fc, hidx, "join for hart %d in state %d (not waiting)", home, th.state)
-			return
-		}
-		th.start(addr, done)
-		m.stats.Joins++
-		m.event(trace.KindJoin, tc, th.idx, uint64(addr))
-	})
-	if err != nil {
-		m.faultf(h.core.idx, h.idx, "join: %v", err)
-	}
+	c.pend = append(c.pend, pendItem{kind: pendJoin, h: h, t: home, a: addr})
 }

@@ -96,6 +96,40 @@ func (s *System) Step(now uint64) {
 // Drained reports whether no events remain in flight.
 func (s *System) Drained() bool { return len(s.events) == 0 }
 
+// NextEventCycle returns the cycle of the earliest pending event. The
+// machine's idle-cycle fast-forward peeks it to know how far the clock
+// can jump while every hart is blocked on in-flight memory.
+func (s *System) NextEventCycle() (uint64, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].cycle, true
+}
+
+// DataMapped reports whether a load or store to addr would reach a
+// backed word (the same mapping check SubmitLoad/SubmitStore perform).
+// It is a pure function of the configuration, so the pipeline's compute
+// phase can raise unmapped-address faults before the submit is applied.
+func (s *System) DataMapped(addr uint32) bool {
+	switch RegionOf(addr) {
+	case RegionLocal:
+		_, ok := s.localSlot(addr)
+		return ok
+	case RegionShared:
+		_, _, ok := s.sharedSlot(addr)
+		return ok
+	default:
+		return false
+	}
+}
+
+// LocalMapped reports whether addr falls inside a core's local bank
+// (the mapping check of SubmitCVWrite).
+func (s *System) LocalMapped(addr uint32) bool {
+	_, ok := s.localSlot(addr)
+	return ok
+}
+
 // routeShared reserves the link slots of a shared access from core c to
 // bank o and returns (serviceStart, responseDone). hops counts link
 // traversals for the statistics.

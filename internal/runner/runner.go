@@ -1,11 +1,16 @@
 // Package runner fans independent simulations across host CPUs.
 //
-// The simulated LBP machine is single-threaded and cycle-deterministic by
-// construction (DESIGN.md §6); host parallelism is therefore only safe
-// *between* whole simulations, never inside one. This package provides that
-// outer layer: a fixed-size worker pool that maps a job function over an
-// index space and returns the results in index order, so a parallel sweep
-// is observably identical to the sequential loop it replaces.
+// The simulated LBP machine is cycle-deterministic by construction
+// (DESIGN.md §6): host parallelism between whole simulations is always
+// safe, and since the two-phase cycle loop (DESIGN.md §6, "Two-phase
+// stepping") a machine can additionally shard its own compute phase via
+// lbp.Machine.SetSimWorkers without changing any simulated result. This
+// package provides the outer layer: a fixed-size worker pool that maps a
+// job function over an index space and returns the results in index
+// order, so a parallel sweep is observably identical to the sequential
+// loop it replaces. The two layers compose — each job may itself run a
+// sharded machine — but on a fully loaded host the outer fan-out alone
+// is usually the better use of cores.
 //
 // Determinism contract for job functions:
 //
