@@ -19,6 +19,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/lbp"
 	"repro/internal/phimodel"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -181,18 +182,24 @@ func BenchmarkSensorIO(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := lbp.New(lbp.DefaultConfig(1))
-		if err := m.LoadProgram(prog); err != nil {
-			b.Fatal(err)
-		}
+		var devices []lbp.Device
 		for s := 0; s < 4; s++ {
-			m.AddDevice(&lbp.Sensor{
+			devices = append(devices, &lbp.Sensor{
 				ValueAddr: prog.Symbols["sval"] + uint32(4*s),
 				FlagAddr:  prog.Symbols["sflag"] + uint32(4*s),
 				Events:    []lbp.SensorEvent{{Cycle: 500 + uint64(97*s), Value: uint32(s + 1)}},
 			})
 		}
-		res, err := m.Run(10_000_000)
+		sess, err := sim.New(sim.Spec{
+			Program:   prog,
+			Cores:     1,
+			Devices:   devices,
+			MaxCycles: 10_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sess.Run()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -340,6 +340,88 @@ func TestCLIRunBankValidation(t *testing.T) {
 	}
 }
 
+// TestCLIRunWorkersValidation: negative -simworkers or -tail are usage
+// errors (exit 2) with a message naming the bad value, matching the
+// -bank validation; valid values still run.
+func TestCLIRunWorkersValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	for _, args := range [][]string{
+		{"-simworkers", "-1", "testdata/hello.s"},
+		{"-simworkers", "-8", "testdata/hello.s"},
+		{"-tail", "-3", "testdata/hello.s"},
+	} {
+		out, err := exec.Command(lbprun, args...).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("%v: err = %v, want exit code 2\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), "must not be negative") {
+			t.Errorf("%v error message: %s", args, out)
+		}
+	}
+	out := runTool(t, lbprun, "-cores", "1", "-simworkers", "2", "-tail", "0", "testdata/hello.s")
+	if !strings.Contains(out, "halt:     exit") {
+		t.Errorf("valid -simworkers run: %s", out)
+	}
+}
+
+// TestCLICheckpointResume is E13 end to end: a run that periodically
+// serializes its state, then a second process resuming the last saved
+// checkpoint, must finish with exactly the digest of an uninterrupted
+// run. Also covers the flag-pairing and resume usage errors.
+func TestCLICheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	single := digestLine(t, runTool(t, lbprun, "-cores", "2", "-digest", "testdata/vecsum.c"))
+
+	ckpt := filepath.Join(dir, "vecsum.ckpt")
+	out := runTool(t, lbprun, "-cores", "2", "-digest", "-checkpoint", ckpt, "-every", "500", "testdata/vecsum.c")
+	if digestLine(t, out) != single {
+		t.Errorf("checkpointing changed the digest:\n%s\nwant %s", out, single)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	resumed := runTool(t, lbprun, "-resume", ckpt, "-digest")
+	if !strings.Contains(resumed, "halt:     exit") {
+		t.Fatalf("resumed run: %s", resumed)
+	}
+	if digestLine(t, resumed) != single {
+		t.Errorf("resumed digest differs:\n%s\nwant %s", digestLine(t, resumed), single)
+	}
+
+	for _, args := range [][]string{
+		{"-checkpoint", ckpt, "testdata/vecsum.c"}, // -checkpoint without -every
+		{"-every", "500", "testdata/vecsum.c"},     // -every without -checkpoint
+		{"-resume", ckpt, "testdata/vecsum.c"},     // resume with a program argument
+	} {
+		out, err := exec.Command(lbprun, args...).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("%v: err = %v, want exit code 2\n%s", args, err, out)
+		}
+	}
+
+	// A checkpoint from an untraced run cannot satisfy -digest on resume.
+	plain := filepath.Join(dir, "plain.ckpt")
+	runTool(t, lbprun, "-cores", "2", "-checkpoint", plain, "-every", "500", "testdata/vecsum.c")
+	out2, err := exec.Command(lbprun, "-resume", plain, "-digest").CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Errorf("-resume -digest on untraced checkpoint: err = %v, want exit 1\n%s", err, out2)
+	}
+	if !strings.Contains(string(out2), "no trace recorder") {
+		t.Errorf("error message: %s", out2)
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -53,6 +53,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/lbp"
 	"repro/internal/phimodel"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -200,6 +201,9 @@ func writeBenchRecord(figNo int, rows []figures.MatmulRow, phi *phimodel.Result,
 	if err != nil {
 		return err
 	}
+	if err := os.MkdirAll(benchDir, 0o755); err != nil {
+		return err
+	}
 	path := filepath.Join(benchDir, fmt.Sprintf("BENCH_fig%d.json", figNo))
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
@@ -334,12 +338,9 @@ func ioExperiment() error {
 		return err
 	}
 	runOnce := func(base uint64) (uint64, []lbp.ActuatorWrite, error) {
-		m := lbp.New(lbp.DefaultConfig(1))
-		if err := m.LoadProgram(prog); err != nil {
-			return 0, nil, err
-		}
+		var devices []lbp.Device
 		for i := 0; i < 4; i++ {
-			m.AddDevice(&lbp.Sensor{
+			devices = append(devices, &lbp.Sensor{
 				ValueAddr: prog.Symbols["sval"] + uint32(4*i),
 				FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
 				Events: []lbp.SensorEvent{
@@ -352,8 +353,17 @@ func ioExperiment() error {
 			ValueAddr: prog.Symbols["factuator"],
 			SeqAddr:   prog.Symbols["aseq"],
 		}
-		m.AddDevice(act)
-		res, err := m.Run(50_000_000)
+		devices = append(devices, act)
+		sess, err := sim.New(sim.Spec{
+			Program:   prog,
+			Cores:     1,
+			Devices:   devices,
+			MaxCycles: 50_000_000,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := sess.Run()
 		if err != nil {
 			return 0, nil, err
 		}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-simworkers N] [-ffwd=false] [-digest] [-tail N] [-percore] [-stats] [-chrome FILE] file.{c,s,img}
+//	lbp-run [-cores N] [-max CYCLES] [-bank BYTES] [-simworkers N] [-ffwd=false] [-digest] [-tail N] [-percore] [-stats] [-chrome FILE] [-checkpoint FILE -every N] file.{c,s,img}
+//	lbp-run -resume FILE [-max CYCLES] [-simworkers N] [-ffwd=false] [flags]
 //
 // -simworkers shards the machine's cycle loop across N host threads
 // (0 = all CPUs); -ffwd=false disables idle-cycle fast-forward. Both are
@@ -21,6 +22,14 @@
 // -chrome FILE exports the retained trace events (see -tail; a default
 // ring is kept if -tail is 0) as Chrome trace-event JSON for
 // chrome://tracing or Perfetto, with hart lifetimes shown as spans.
+//
+// -checkpoint FILE -every N pauses the run every N cycles and rewrites
+// FILE with the machine's complete serialized state. -resume FILE picks
+// such a run back up (no program argument: the program lives inside the
+// checkpoint) and reproduces the uninterrupted run bit-exactly — same
+// halt, stats, digest and trace, for any -simworkers/-ffwd combination
+// on either side of the split. -max is always the absolute cycle budget;
+// a resumed run counts the cycles already simulated against it.
 package main
 
 import (
@@ -28,11 +37,9 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strings"
 
-	"repro/internal/asm"
-	"repro/internal/cc"
 	"repro/internal/lbp"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -47,52 +54,116 @@ func main() {
 	chrome := flag.String("chrome", "", "write the retained trace events as Chrome trace-event JSON to `file`")
 	simWorkers := flag.Int("simworkers", 1, "host threads stepping the machine (0 = all CPUs, 1 = single-threaded)")
 	ffwd := flag.Bool("ffwd", true, "fast-forward idle cycles (never changes simulated results)")
+	ckptFile := flag.String("checkpoint", "", "rewrite `file` with the serialized machine state every -every cycles")
+	every := flag.Uint64("every", 0, "checkpoint interval in cycles (requires -checkpoint)")
+	resume := flag.String("resume", "", "resume a run from checkpoint `file` instead of loading a program")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
-		flag.PrintDefaults()
+	if *simWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "lbp-run: -simworkers %d must not be negative (0 = all CPUs)\n", *simWorkers)
 		os.Exit(2)
 	}
-	// The flag help promises a power of two; enforce it (and the uint32
-	// address-space bound) instead of silently truncating the bank size.
-	if *bank == 0 || *bank > math.MaxUint32 || *bank&(*bank-1) != 0 {
-		fmt.Fprintf(os.Stderr, "lbp-run: -bank %d must be a power of two that fits in 32 bits\n", *bank)
+	if *tail < 0 {
+		fmt.Fprintf(os.Stderr, "lbp-run: -tail %d must not be negative\n", *tail)
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
-	prog, err := load(path, *cores, uint32(*bank))
-	if err != nil {
-		fatal(err)
+	if (*ckptFile == "") != (*every == 0) {
+		fmt.Fprintln(os.Stderr, "lbp-run: -checkpoint FILE and -every N (positive) must be used together")
+		os.Exit(2)
 	}
-	cfg := lbp.DefaultConfig(*cores)
-	cfg.Mem.SharedBytes = uint32(*bank)
-	m := lbp.New(cfg)
-	var rec *trace.Recorder
-	if *digest || *tail > 0 || *chrome != "" {
+
+	var sess *sim.Session
+	if *resume != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "lbp-run: -resume takes no program argument (the checkpoint carries the program)")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		sess, err = sim.Resume(data, sim.ResumeSpec{
+			MaxCycles:     *max,
+			SimWorkers:    runWorkers(*simWorkers),
+			NoFastForward: !*ffwd,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Observers travel inside the checkpoint; flags can only report
+		// what the original run recorded.
+		if (*digest || *tail > 0 || *chrome != "") && sess.Recorder() == nil {
+			fatal(fmt.Errorf("checkpoint %s has no trace recorder; rerun the original with -digest or -tail", *resume))
+		}
+		if *stats && sess.PerfSnapshot() == nil {
+			fatal(fmt.Errorf("checkpoint %s was not profiled; rerun the original with -stats", *resume))
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: lbp-run [flags] file.{c,s,img}")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		// The flag help promises a power of two; enforce it (and the uint32
+		// address-space bound) instead of silently truncating the bank size.
+		if *bank == 0 || *bank > math.MaxUint32 || *bank&(*bank-1) != 0 {
+			fmt.Fprintf(os.Stderr, "lbp-run: -bank %d must be a power of two that fits in 32 bits\n", *bank)
+			os.Exit(2)
+		}
+		prog, err := sim.LoadFile(flag.Arg(0), *cores, uint32(*bank))
+		if err != nil {
+			fatal(err)
+		}
 		ring := *tail
 		if *chrome != "" && ring < 1<<16 {
 			ring = 1 << 16 // keep enough events for a useful timeline
 		}
-		rec = trace.New(ring)
-		m.SetTrace(rec)
+		sess, err = sim.New(sim.Spec{
+			Program:         prog,
+			Cores:           *cores,
+			SharedBankBytes: uint32(*bank),
+			MaxCycles:       *max,
+			Trace:           sim.TraceSpec{Digest: *digest, Ring: ring},
+			Profile:         *stats,
+			SimWorkers:      runWorkers(*simWorkers),
+			NoFastForward:   !*ffwd,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if *stats {
-		m.EnableProfiling()
+
+	var res *lbp.Result
+	var err error
+	if *ckptFile != "" {
+		res, err = sess.RunWithCheckpoints(*every, func(cp []byte) error {
+			return os.WriteFile(*ckptFile, cp, 0o644)
+		})
+	} else {
+		res, err = sess.Run()
 	}
-	m.SetSimWorkers(*simWorkers)
-	m.SetFastForward(*ffwd)
-	if err := m.LoadProgram(prog); err != nil {
-		fatal(err)
-	}
-	res, err := m.Run(*max)
 	if err != nil {
 		fatal(err)
 	}
+	report(sess, res, *perCore, *stats, *digest, *tail, *chrome)
+}
+
+// runWorkers maps the -simworkers convention (0 = all CPUs) onto the
+// sim.Spec convention (negative = all CPUs, 0/1 = single-threaded).
+func runWorkers(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// report prints the run summary and the requested observer output.
+func report(sess *sim.Session, res *lbp.Result, perCore, stats, digest bool, tail int, chrome string) {
+	cores := sess.Config().Cores
 	st := res.Stats
 	fmt.Printf("halt:     %s\n", res.Halt)
 	fmt.Printf("cycles:   %d\n", st.Cycles)
 	fmt.Printf("retired:  %d\n", st.Retired)
-	fmt.Printf("IPC:      %.2f (peak %d)\n", st.IPC(), *cores)
+	fmt.Printf("IPC:      %.2f (peak %d)\n", st.IPC(), cores)
 	fmt.Printf("forks:    %d  joins: %d  signals: %d  sends: %d\n",
 		st.Forks, st.Joins, st.Signals, st.RemoteSends)
 	fmt.Printf("memory:   local=%d shared-local=%d shared-remote=%d cv=%d\n",
@@ -104,9 +175,9 @@ func main() {
 		}
 	}
 	fmt.Printf("harts:    %d of %d retired instructions\n", busy, len(st.PerHart))
-	if *perCore {
+	if perCore {
 		hpc := lbp.HartsPerCore
-		for c := 0; c < *cores; c++ {
+		for c := 0; c < cores; c++ {
 			var sum uint64
 			for h := 0; h < hpc; h++ {
 				sum += st.PerHart[hpc*c+h]
@@ -116,22 +187,23 @@ func main() {
 				st.PerHart[hpc*c:hpc*(c+1)])
 		}
 	}
-	if *stats {
-		fmt.Print(m.PerfSnapshot().Format())
+	if stats {
+		fmt.Print(sess.PerfSnapshot().Format())
 	}
+	rec := sess.Recorder()
 	if rec != nil {
-		if *digest {
+		if digest {
 			fmt.Printf("digest:   %#x over %d events\n", rec.Digest(), rec.Count())
 		}
-		for _, e := range rec.Last(*tail) {
+		for _, e := range rec.Last(tail) {
 			fmt.Println(e)
 		}
 	}
-	if *chrome != "" {
-		if err := exportChrome(*chrome, rec); err != nil {
+	if chrome != "" {
+		if err := exportChrome(chrome, rec); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("chrome:   trace written to %s\n", *chrome)
+		fmt.Printf("chrome:   trace written to %s\n", chrome)
 	}
 }
 
@@ -148,38 +220,6 @@ func exportChrome(path string, rec *trace.Recorder) error {
 		return werr
 	}
 	return cerr
-}
-
-// load builds a program from a .c, .s or .img file.
-func load(path string, cores int, bank uint32) (*asm.Program, error) {
-	switch {
-	case strings.HasSuffix(path, ".img"):
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return asm.ReadImage(f)
-	case strings.HasSuffix(path, ".c"):
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		opt := cc.DefaultOptions()
-		opt.Cores = cores
-		opt.SharedBankBytes = bank
-		asmText, err := cc.BuildProgram(string(src), opt)
-		if err != nil {
-			return nil, err
-		}
-		return asm.Assemble(asmText, asm.Options{})
-	default: // .s
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		return asm.Assemble(string(src), asm.Options{})
-	}
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/lbp"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -30,25 +31,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := lbp.New(lbp.DefaultConfig(nt / 4))
-	if err := m.LoadProgram(prog); err != nil {
-		log.Fatal(err)
-	}
 	events := make([]lbp.SensorEvent, nt-1)
 	for i := range events {
 		events[i] = lbp.SensorEvent{Cycle: 1500 + uint64(150*i), Value: uint32(10 * (i + 1))}
 	}
-	m.AddDevice(&lbp.Sensor{
+	stream := &lbp.Sensor{
 		Name:      "stream",
 		ValueAddr: prog.Symbols["inval"],
 		FlagAddr:  prog.Symbols["inflag"],
 		Events:    events,
+	}
+	sess, err := sim.New(sim.Spec{
+		Program:   prog,
+		Cores:     nt / 4,
+		Devices:   []lbp.Device{stream},
+		MaxCycles: 10_000_000,
 	})
-	res, err := m.Run(10_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, _ := m.ReadSharedSlice(prog.Symbols["out"], nt-1)
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := sess.Machine().ReadSharedSlice(prog.Symbols["out"], nt-1)
 	fmt.Println("consumer results (datum*2 + release token):", out)
 	fmt.Printf("cycles: %d, backward-line releases: %d, no interrupts taken (LBP has none)\n",
 		res.Stats.Cycles, res.Stats.RemoteSends)

@@ -14,8 +14,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/detmpi"
-	"repro/internal/lbp"
-	"repro/internal/trace"
+	"repro/internal/sim"
 )
 
 const user = `
@@ -51,18 +50,21 @@ func main() {
 		log.Fatal(err)
 	}
 	run := func() ([]uint32, uint64, uint64) {
-		m := lbp.New(lbp.DefaultConfig(2))
-		rec := trace.New(0)
-		m.SetTrace(rec)
-		if err := m.LoadProgram(prog); err != nil {
-			log.Fatal(err)
-		}
-		res, err := m.Run(10_000_000)
+		sess, err := sim.New(sim.Spec{
+			Program:   prog,
+			Cores:     2,
+			MaxCycles: 10_000_000,
+			Trace:     sim.TraceSpec{Digest: true},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		vals, _ := m.ReadSharedSlice(prog.Symbols["seen"], 8)
-		return vals, res.Stats.Cycles, rec.Digest()
+		res, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals, _ := sess.Machine().ReadSharedSlice(prog.Symbols["seen"], 8)
+		return vals, res.Stats.Cycles, sess.Recorder().Digest()
 	}
 	v1, c1, d1 := run()
 	v2, c2, d2 := run()

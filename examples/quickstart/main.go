@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cc"
-	"repro/internal/lbp"
+	"repro/internal/sim"
 )
 
 // A classic OpenMP-style program: the only Deterministic OpenMP change is
@@ -47,15 +47,15 @@ func main() {
 		log.Fatal(err)
 	}
 	// run on a 4-core (16-hart) LBP
-	m := lbp.New(lbp.DefaultConfig(4))
-	if err := m.LoadProgram(prog); err != nil {
-		log.Fatal(err)
-	}
-	res, err := m.Run(1_000_000)
+	sess, err := sim.New(sim.Spec{Program: prog, Cores: 4, MaxCycles: 1_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	vals, _ := m.ReadSharedSlice(prog.Symbols["squares"], 16)
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals, _ := sess.Machine().ReadSharedSlice(prog.Symbols["squares"], 16)
 	fmt.Println("squares:", vals)
 	fmt.Printf("cycles: %d, retired: %d, IPC: %.2f, forks: %d, joins: %d\n",
 		res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC(),

@@ -13,7 +13,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cc"
-	"repro/internal/lbp"
+	"repro/internal/sim"
 )
 
 const source = `
@@ -49,15 +49,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := lbp.New(lbp.DefaultConfig(4))
-	if err := m.LoadProgram(prog); err != nil {
-		log.Fatal(err)
-	}
-	res, err := m.Run(1_000_000)
+	sess, err := sim.New(sim.Spec{Program: prog, Cores: 4, MaxCycles: 1_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, _ := m.ReadShared(prog.Symbols["total"])
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, _ := sess.Machine().ReadShared(prog.Symbols["total"])
 	fmt.Printf("sum of 256 threes, reduced over 16 harts: %d (want 768)\n", total)
 	fmt.Printf("cycles: %d, backward-line sends: %d\n",
 		res.Stats.Cycles, res.Stats.RemoteSends)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/lbp"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -27,13 +28,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := lbp.New(lbp.DefaultConfig(1))
-	if err := m.LoadProgram(prog); err != nil {
-		log.Fatal(err)
-	}
 	// three rounds of sensor inputs; note round 2 arrives in reverse order
+	var devices []lbp.Device
 	for i := 0; i < 4; i++ {
-		m.AddDevice(&lbp.Sensor{
+		devices = append(devices, &lbp.Sensor{
 			Name:      fmt.Sprintf("sensor%d", i),
 			ValueAddr: prog.Symbols["sval"] + uint32(4*i),
 			FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
@@ -49,8 +47,17 @@ func main() {
 		ValueAddr: prog.Symbols["factuator"],
 		SeqAddr:   prog.Symbols["aseq"],
 	}
-	m.AddDevice(act)
-	res, err := m.Run(10_000_000)
+	devices = append(devices, act)
+	sess, err := sim.New(sim.Spec{
+		Program:   prog,
+		Cores:     1,
+		Devices:   devices,
+		MaxCycles: 10_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/lbp"
-	"repro/internal/trace"
+	"repro/internal/sim"
 )
 
 // System describes one LBP machine and its toolchain.
@@ -126,23 +126,26 @@ func (r *Report) Global(prog *Program, name string) (uint32, error) {
 
 // Run executes the program on a fresh machine.
 func (s *System) Run(prog *Program) (*Report, error) {
-	m := lbp.New(s.Machine)
-	rec := trace.New(0)
-	m.SetTrace(rec)
-	if err := m.LoadProgram(prog.Program); err != nil {
-		return nil, err
-	}
+	var devices []lbp.Device
 	for _, mk := range s.Devices {
-		m.AddDevice(mk(prog.Program))
+		devices = append(devices, mk(prog.Program))
 	}
-	max := s.MaxCycles
-	if max == 0 {
-		max = 100_000_000
-	}
-	res, err := m.Run(max)
+	cfg := s.Machine
+	sess, err := sim.New(sim.Spec{
+		Program:   prog.Program,
+		Config:    &cfg,
+		Devices:   devices,
+		MaxCycles: s.MaxCycles,
+		Trace:     sim.TraceSpec{Digest: true},
+	})
 	if err != nil {
 		return nil, err
 	}
+	res, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+	rec := sess.Recorder()
 	return &Report{
 		Halt:    res.Halt,
 		Cycles:  res.Stats.Cycles,
@@ -151,7 +154,7 @@ func (s *System) Run(prog *Program) (*Report, error) {
 		Stats:   res.Stats,
 		Digest:  rec.Digest(),
 		Events:  rec.Count(),
-		machine: m,
+		machine: sess.Machine(),
 	}, nil
 }
 

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/lbp"
 	"repro/internal/runner"
-	"repro/internal/trace"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -42,20 +42,22 @@ func runPoints(v workloads.MatmulVariant, h int, points []cfgPoint) ([]AblationP
 	}
 	return runner.Map(Parallelism, len(points), func(i int) (AblationPoint, error) {
 		pt := points[i]
-		cfg := lbp.DefaultConfig(h / 4)
-		cfg.Mem.SharedBytes = workloads.SharedBankBytes(h)
+		cfg := workloads.MatmulConfig(h)
 		pt.mutate(&cfg)
-		m := lbp.New(cfg)
-		rec := trace.New(0)
-		m.SetTrace(rec)
-		if err := m.LoadProgram(prog); err != nil {
+		sess, err := sim.New(sim.Spec{
+			Program:   prog,
+			Config:    &cfg,
+			MaxCycles: workloads.MaxMatmulCycles(h),
+			Trace:     sim.TraceSpec{Digest: true},
+		})
+		if err != nil {
 			return AblationPoint{}, err
 		}
-		res, err := m.Run(workloads.MaxMatmulCycles(h))
+		res, err := sess.Run()
 		if err != nil {
 			return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", pt.label, err)
 		}
-		if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
+		if err := workloads.VerifyMatmul(sess.Machine(), prog, v, h); err != nil {
 			return AblationPoint{}, fmt.Errorf("figures: ablation %q: %w", pt.label, err)
 		}
 		return AblationPoint{
@@ -63,7 +65,7 @@ func runPoints(v workloads.MatmulVariant, h int, points []cfgPoint) ([]AblationP
 			Cycles:  res.Stats.Cycles,
 			Retired: res.Stats.Retired,
 			IPC:     res.Stats.IPC(),
-			Digest:  rec.Digest(),
+			Digest:  sess.Recorder().Digest(),
 		}, nil
 	})
 }

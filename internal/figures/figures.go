@@ -18,7 +18,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/phimodel"
 	"repro/internal/runner"
-	"repro/internal/trace"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -58,6 +58,22 @@ var FastForward = true
 // Off by default: throughput is the only nondeterministic content a row
 // can carry, and the equivalence tests compare rows with DeepEqual.
 var RecordThroughput = false
+
+// pool recycles warm machines across the figure sweeps: every run of
+// the same variant size reuses a reset machine instead of reallocating
+// banks, link queues and reorder buffers. sim.Pool is safe for the
+// Parallelism-sized fan-out.
+var pool sim.Pool
+
+// specSimWorkers translates the package SimWorkers knob (0 = all host
+// CPUs, lbp.SetSimWorkers convention) into the sim.Spec convention
+// (0 = single-threaded, negative = all host CPUs).
+func specSimWorkers() int {
+	if SimWorkers == 0 {
+		return -1
+	}
+	return SimWorkers
+}
 
 // Throughput records the host-side execution speed of one simulation.
 type Throughput struct {
@@ -100,36 +116,39 @@ func RunMatmul(v workloads.MatmulVariant, h int) (MatmulRow, error) {
 	return runMatmulProg(prog, v, h)
 }
 
-// runMatmulProg runs a pre-assembled variant on a fresh machine with a
+// runMatmulProg runs a pre-assembled variant on a pooled machine with a
 // digest-only trace recorder attached. prog is only read, so concurrent
 // calls may share it.
 func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulRow, error) {
-	m := workloads.NewMatmulMachine(h)
-	rec := trace.New(0)
-	m.SetTrace(rec)
-	if Profile {
-		m.EnableProfiling()
-	}
-	m.SetSimWorkers(SimWorkers)
-	m.SetFastForward(FastForward)
-	if err := m.LoadProgram(prog); err != nil {
+	cfg := workloads.MatmulConfig(h)
+	sess, err := pool.Get(sim.Spec{
+		Program:       prog,
+		Config:        &cfg,
+		MaxCycles:     workloads.MaxMatmulCycles(h),
+		Trace:         sim.TraceSpec{Digest: true},
+		Profile:       Profile,
+		SimWorkers:    specSimWorkers(),
+		NoFastForward: !FastForward,
+	})
+	if err != nil {
 		return MatmulRow{}, err
 	}
 	start := time.Now()
-	res, err := m.Run(workloads.MaxMatmulCycles(h))
+	res, err := sess.Run()
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		return MatmulRow{}, fmt.Errorf("figures: %s/%d: %w", v, h, err)
 	}
-	if err := workloads.VerifyMatmul(m, prog, v, h); err != nil {
+	if err := workloads.VerifyMatmul(sess.Machine(), prog, v, h); err != nil {
 		return MatmulRow{}, err
 	}
+	rec := sess.Recorder()
 	row := MatmulRow{
 		Variant: v,
 		Harts:   h,
 		Cycles:  res.Stats.Cycles,
 		Retired: res.Stats.Retired,
-		Perf:    m.PerfSnapshot(),
+		Perf:    sess.PerfSnapshot(),
 		IPC:     res.Stats.IPC(),
 		Remote:  res.Mem.SharedRemote,
 		Local:   res.Mem.SharedLocal + res.Mem.LocalAccesses,
@@ -139,7 +158,7 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 	if RecordThroughput {
 		t := &Throughput{
 			WallSec:       wall,
-			SimWorkers:    m.SimWorkers(),
+			SimWorkers:    sess.Machine().SimWorkers(),
 			FastForwarded: res.Stats.FastForwarded,
 		}
 		if wall > 0 {
@@ -147,6 +166,7 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 		}
 		row.Host = t
 	}
+	pool.Put(sess)
 	return row, nil
 }
 
@@ -239,17 +259,23 @@ func RunDeterminism(v workloads.MatmulVariant, h, n int) (DetReport, error) {
 		cycles uint64
 	}
 	runs, err := runner.Map(Parallelism, n, func(int) (detRun, error) {
-		m := workloads.NewMatmulMachine(h)
-		rec := trace.New(0)
-		m.SetTrace(rec)
-		if err := m.LoadProgram(prog); err != nil {
-			return detRun{}, err
-		}
-		res, err := m.Run(workloads.MaxMatmulCycles(h))
+		cfg := workloads.MatmulConfig(h)
+		sess, err := pool.Get(sim.Spec{
+			Program:   prog,
+			Config:    &cfg,
+			MaxCycles: workloads.MaxMatmulCycles(h),
+			Trace:     sim.TraceSpec{Digest: true},
+		})
 		if err != nil {
 			return detRun{}, err
 		}
-		return detRun{digest: rec.Digest(), cycles: res.Stats.Cycles}, nil
+		res, err := sess.Run()
+		if err != nil {
+			return detRun{}, err
+		}
+		r := detRun{digest: sess.Recorder().Digest(), cycles: res.Stats.Cycles}
+		pool.Put(sess)
+		return r, nil
 	})
 	if err != nil {
 		return rep, err
@@ -327,11 +353,15 @@ func RunHartAblation(iters int) ([]AblationRow, error) {
 	}
 	return runner.Map(Parallelism, len(progs), func(i int) (AblationRow, error) {
 		k := i + 1
-		m := lbp.New(lbp.DefaultConfig(1))
-		if err := m.LoadProgram(progs[i]); err != nil {
+		sess, err := sim.New(sim.Spec{
+			Program:   progs[i],
+			Cores:     1,
+			MaxCycles: uint64(200*iters*k + 1_000_000),
+		})
+		if err != nil {
 			return AblationRow{}, err
 		}
-		res, err := m.Run(uint64(200*iters*k + 1_000_000))
+		res, err := sess.Run()
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -411,11 +441,15 @@ func RunLocality(h, chunk int) (LocalityRow, error) {
 	if err != nil {
 		return LocalityRow{}, err
 	}
-	m := lbp.New(lbp.DefaultConfig(h / 4))
-	if err := m.LoadProgram(prog); err != nil {
+	sess, err := sim.New(sim.Spec{
+		Program:   prog,
+		Cores:     h / 4,
+		MaxCycles: uint64(h*chunk*1000 + 1_000_000),
+	})
+	if err != nil {
 		return LocalityRow{}, err
 	}
-	res, err := m.Run(uint64(h*chunk*1000 + 1_000_000))
+	res, err := sess.Run()
 	if err != nil {
 		return LocalityRow{}, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/lbp"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -55,19 +56,16 @@ func RunResponseSweep(phases int) (*ResponseReport, error) {
 	// sweep fans out across the worker pool; the min/max fold happens
 	// after all phases, in phase order.
 	samples, err := runner.Map(Parallelism, phases, func(p int) (uint64, error) {
-		m := lbp.New(lbp.DefaultConfig(1))
-		if err := m.LoadProgram(prog); err != nil {
-			return 0, err
-		}
 		// three sensors answer early; the last one arrives late, at a
 		// phase-swept cycle, so the fusion waits only on it
 		last := uint64(3000 + p)
+		var devices []lbp.Device
 		for i := 0; i < 4; i++ {
 			cyc := uint64(500 + 13*i)
 			if i == 3 {
 				cyc = last
 			}
-			m.AddDevice(&lbp.Sensor{
+			devices = append(devices, &lbp.Sensor{
 				ValueAddr: prog.Symbols["sval"] + uint32(4*i),
 				FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
 				Events:    []lbp.SensorEvent{{Cycle: cyc, Value: uint32(4 * (i + 1))}},
@@ -77,8 +75,17 @@ func RunResponseSweep(phases int) (*ResponseReport, error) {
 			ValueAddr: prog.Symbols["factuator"],
 			SeqAddr:   prog.Symbols["aseq"],
 		}
-		m.AddDevice(act)
-		if _, err := m.Run(50_000_000); err != nil {
+		devices = append(devices, act)
+		sess, err := sim.New(sim.Spec{
+			Program:   prog,
+			Cores:     1,
+			Devices:   devices,
+			MaxCycles: 50_000_000,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sess.Run(); err != nil {
 			return 0, err
 		}
 		if len(act.Writes) != 1 {

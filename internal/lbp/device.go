@@ -1,6 +1,22 @@
 package lbp
 
-import "repro/internal/trace"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Stateful is an optional Device capability required for checkpointing:
+// DeviceState returns an opaque serialized snapshot of the device's
+// mutable state, and RestoreDeviceState installs one into a device built
+// with the same configuration. A machine with a device that does not
+// implement Stateful refuses to checkpoint.
+type Stateful interface {
+	DeviceState() ([]byte, error)
+	RestoreDeviceState(data []byte) error
+}
 
 // I/O devices for the non-interruptible I/O pattern of Section 6
 // (Figures 16-17). LBP takes no interrupts: input controllers poll
@@ -49,6 +65,37 @@ func (s *Sensor) NextArm(now uint64) (uint64, bool) {
 	return s.Events[s.next].Cycle, true
 }
 
+// sensorState is the mutable part of a Sensor; the schedule itself is
+// configuration and must be supplied again on restore.
+type sensorState struct {
+	Next int
+	Seq  uint32
+}
+
+// DeviceState implements Stateful.
+func (s *Sensor) DeviceState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sensorState{Next: s.next, Seq: s.seq}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreDeviceState implements Stateful.
+func (s *Sensor) RestoreDeviceState(data []byte) error {
+	var st sensorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if st.Next < 0 || st.Next > len(s.Events) {
+		return fmt.Errorf("lbp: sensor %q state cursor %d outside its %d-event schedule",
+			s.Name, st.Next, len(s.Events))
+	}
+	s.next = st.Next
+	s.seq = st.Seq
+	return nil
+}
+
 // ActuatorWrite is one observed output.
 type ActuatorWrite struct {
 	Cycle uint64
@@ -86,3 +133,30 @@ func (a *Actuator) Step(m *Machine, now uint64) {
 // exactly on the next memory-event cycle, where the poll observes the
 // change at the same cycle single-stepping would.
 func (a *Actuator) NextArm(now uint64) (uint64, bool) { return 0, false }
+
+// actuatorState is the mutable part of an Actuator, including the
+// writes observed so far — a resumed run appends to them.
+type actuatorState struct {
+	LastSeq uint32
+	Writes  []ActuatorWrite
+}
+
+// DeviceState implements Stateful.
+func (a *Actuator) DeviceState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(actuatorState{LastSeq: a.lastSeq, Writes: a.Writes}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreDeviceState implements Stateful.
+func (a *Actuator) RestoreDeviceState(data []byte) error {
+	var st actuatorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	a.lastSeq = st.LastSeq
+	a.Writes = st.Writes
+	return nil
+}

@@ -263,7 +263,10 @@ type Result struct {
 	Halt  string
 }
 
-// Run advances the machine until the program exits or maxCycles elapse.
+// Run advances the machine until the program exits or maxCycles total
+// simulated cycles elapse. The budget is absolute: on a machine resumed
+// from a checkpoint or paused by Advance, cycles already simulated count
+// against it.
 //
 // Each cycle: memory events and devices step first (serial), then phase A
 // computes every active core — inline, or sharded across the worker pool —
@@ -273,23 +276,53 @@ type Result struct {
 // there (see phase.go). Simulated results are identical for every worker
 // count and with fast-forward on or off.
 func (m *Machine) Run(maxCycles uint64) (*Result, error) {
-	if m.running {
+	var n uint64
+	if maxCycles > m.cycle {
+		n = maxCycles - m.cycle
+	}
+	res, err := m.Advance(n)
+	if res != nil || err != nil {
+		return res, err
+	}
+	return nil, fmt.Errorf("lbp: exceeded %d cycles without exiting%s",
+		maxCycles, m.stuckReport())
+}
+
+// Advance runs at most n more cycles. It returns (nil, nil) when the
+// budget runs out before the program exits: the machine is then paused
+// at a cycle boundary — no mid-cycle state is in flight — and can be
+// advanced further, checkpointed, or both. A run split into Advance legs
+// is bit-identical to one uninterrupted run (the host-side
+// Stats.FastForwarded diagnostic excepted).
+func (m *Machine) Advance(n uint64) (*Result, error) {
+	if m.exited {
+		if m.err != nil {
+			return nil, m.err
+		}
 		return nil, fmt.Errorf("lbp: machine already ran; create a new one")
 	}
-	m.running = true
-	m.progress = 0
+	stop := m.cycle + n
+	if !m.running {
+		m.running = true
+		m.progress = m.cycle
+	}
 	if w := m.SimWorkers(); w > 1 && m.pool == nil {
 		m.pool = newStepPool(w)
 	}
-	if m.pool != nil {
-		defer m.pool.stop()
+	if p := m.pool; p != nil {
+		// The pool lives for one Advance call: a paused machine holds no
+		// goroutines, and the next leg may run under a different worker
+		// setting (worker count never affects simulated results).
+		defer func() {
+			p.stop()
+			m.pool = nil
+		}()
 	}
 	for !m.exited {
-		m.cycle++
-		if m.cycle > maxCycles {
-			return nil, fmt.Errorf("lbp: exceeded %d cycles without exiting%s",
-				maxCycles, m.stuckReport())
+		if m.cycle >= stop {
+			return nil, nil
 		}
+		m.cycle++
 		if !m.Mem.Drained() {
 			m.progress = m.cycle
 		}
@@ -332,7 +365,7 @@ func (m *Machine) Run(maxCycles uint64) (*Result, error) {
 				m.cfg.LivelockWindow, m.stuckReport())
 		}
 		if !activity && m.fastFwd && !m.exited {
-			m.fastForward(m.cycle, maxCycles)
+			m.fastForward(m.cycle, stop)
 		}
 	}
 	if m.err != nil {
@@ -391,8 +424,27 @@ func (m *Machine) ReadShared(addr uint32) (uint32, bool) {
 	return m.Mem.PeekShared(addr)
 }
 
-// ReadSharedSlice reads n consecutive words starting at addr.
+// ReadSharedSlice reads n consecutive words starting at addr. It
+// reports ok=false when n is negative, when the word range would wrap
+// the 32-bit address space, or when any word is outside the shared
+// region — and it validates the range endpoints before allocating, so a
+// bogus huge n cannot make it reserve gigabytes first.
 func (m *Machine) ReadSharedSlice(addr uint32, n int) ([]uint32, bool) {
+	if n < 0 {
+		return nil, false
+	}
+	if n > 0 {
+		last := uint64(addr) + 4*uint64(n-1)
+		if last > uint64(^uint32(0)) {
+			return nil, false
+		}
+		if _, ok := m.Mem.PeekShared(addr); !ok {
+			return nil, false
+		}
+		if _, ok := m.Mem.PeekShared(uint32(last)); !ok {
+			return nil, false
+		}
+	}
 	out := make([]uint32, n)
 	for i := range out {
 		v, ok := m.Mem.PeekShared(addr + uint32(4*i))
@@ -402,4 +454,48 @@ func (m *Machine) ReadSharedSlice(addr uint32, n int) ([]uint32, bool) {
 		out[i] = v
 	}
 	return out, true
+}
+
+// Reset returns the machine to its post-New state — keeping every
+// allocation warm — and loads a new program, for machine reuse across
+// the runs of a sweep. Host-side knobs (trace recorder, profiling,
+// worker count, fast-forward) survive; a run on a reset machine is
+// bit-identical to the same run on a freshly built one.
+func (m *Machine) Reset(p *asm.Program) error {
+	m.Mem.Reset()
+	for _, h := range m.harts {
+		h.reset(&m.cfg)
+		// reset keeps the fields that are monotonic within one run;
+		// between runs they start from zero like on a fresh machine.
+		h.seq = 0
+		h.renamed = 0
+		h.execReadyAt = 0
+		h.retired = 0
+		h.startedBy = 0
+		h.endingEpoch = 0
+		h.lastCommit = 0
+	}
+	for _, c := range m.cores {
+		c.fetchRR, c.renameRR, c.issueRR, c.wbRR, c.commitRR = 0, 0, 0, 0, 0
+		c.statFetched, c.statForks, c.statSends = 0, 0, 0
+		c.committed = false
+		c.activeEdge = false
+		c.freeSnap = false
+		clear(c.pend)
+		c.pend = c.pend[:0]
+		c.evbuf = c.evbuf[:0]
+	}
+	m.cycle = 0
+	m.running = false
+	m.exited = false
+	m.haltMsg = ""
+	m.err = nil
+	m.progress = 0
+	m.stats = Stats{}
+	clear(m.hperf)
+	clear(m.cperf)
+	clear(m.decoded)
+	m.decoded = m.decoded[:0]
+	m.rebuildActive()
+	return m.LoadProgram(p)
 }

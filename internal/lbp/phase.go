@@ -138,84 +138,36 @@ func (m *Machine) applyPending(now uint64) {
 func (m *Machine) applyItem(c *core, it *pendItem, now uint64) {
 	switch it.kind {
 	case pendLoad:
-		h, u := it.h, it.u
 		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed,
-			func(v uint32, done uint64) {
-				u.value = v
-				u.memWait = false
-				h.execReadyAt = done
-				h.inflightMem--
-			})
+			&loadClient{h: it.h, u: it.u})
 	case pendStore:
-		h := it.h
-		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w,
-			func(done uint64) { h.inflightMem-- })
+		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w, &storeClient{h: it.h})
 	case pendCV:
-		h := it.h
-		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b,
-			func(done uint64) { h.inflightMem-- })
+		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b, &storeClient{h: it.h})
 	case pendSwre:
 		th := m.harts[it.t]
-		idx := int(it.b)
-		val := it.a
-		pc := it.u.pc
-		hidx := it.h.idx
-		tgt := it.t
-		err := m.Mem.SendBackward(now, c.idx, th.core.idx, func(done uint64) {
-			if !th.pushRemote(idx, val, m.cfg.RBDepth) {
-				m.faultf(c.idx, hidx, "p_swre overflowed result buffer %d of hart %d (pc %#x)", idx, tgt, pc)
-			}
-		})
-		if err != nil {
-			m.faultf(c.idx, hidx, "p_swre: %v", err)
+		msg := &swreMsg{m: m, fromCore: c.idx, fromHart: it.h.idx,
+			tgt: it.t, idx: it.b, val: it.a, pc: it.u.pc}
+		if err := m.Mem.SendBackward(now, c.idx, th.core.idx, msg); err != nil {
+			m.faultf(c.idx, it.h.idx, "p_swre: %v", err)
 		}
 	case pendStart:
 		th := m.harts[it.t]
-		pc := it.a
-		tc := th.core.idx
-		hidx := it.h.idx
-		tgt := it.t
-		err := m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
-			if th.state != hartAllocated {
-				m.faultf(c.idx, hidx, "start for hart %d in state %d (not allocated)", tgt, th.state)
-				return
-			}
-			th.start(pc, done)
-			m.stats.Starts++
-			m.event(trace.KindStart, tc, th.idx, uint64(pc))
-		})
-		if err != nil {
-			m.faultf(c.idx, hidx, "start: %v", err)
+		msg := &startMsg{m: m, fromCore: c.idx, fromHart: it.h.idx, tgt: it.t, pc: it.a}
+		if err := m.Mem.SendForward(now, c.idx, th.core.idx, msg); err != nil {
+			m.faultf(c.idx, it.h.idx, "start: %v", err)
 		}
 	case pendSignal:
 		th := m.harts[it.t]
-		link := it.t
-		tc := th.core.idx
-		err := m.Mem.SendForward(now, c.idx, tc, func(done uint64) {
-			th.predSignal = true
-			m.stats.Signals++
-			m.event(trace.KindSignal, tc, th.idx, uint64(link))
-		})
-		if err != nil {
+		msg := &signalMsg{m: m, tgt: it.t}
+		if err := m.Mem.SendForward(now, c.idx, th.core.idx, msg); err != nil {
 			m.faultf(c.idx, it.h.idx, "ending signal: %v", err)
 		}
 	case pendJoin:
 		th := m.harts[it.t]
-		addr := it.a
-		tc := th.core.idx
-		hidx := it.h.idx
-		tgt := it.t
-		err := m.Mem.SendBackward(now, c.idx, tc, func(done uint64) {
-			if th.state != hartWaitJoin {
-				m.faultf(c.idx, hidx, "join for hart %d in state %d (not waiting)", tgt, th.state)
-				return
-			}
-			th.start(addr, done)
-			m.stats.Joins++
-			m.event(trace.KindJoin, tc, th.idx, uint64(addr))
-		})
-		if err != nil {
-			m.faultf(c.idx, hidx, "join: %v", err)
+		msg := &joinMsg{m: m, fromCore: c.idx, fromHart: it.h.idx, tgt: it.t, addr: it.a}
+		if err := m.Mem.SendBackward(now, c.idx, th.core.idx, msg); err != nil {
+			m.faultf(c.idx, it.h.idx, "join: %v", err)
 		}
 	case pendForkNext:
 		// p_fn: the allocation happens here so the target core's own
@@ -426,15 +378,16 @@ func (m *Machine) nextWake(now uint64) (uint64, bool) {
 // before the next cycle at which the machine can change state, bulk-
 // crediting the skipped cycles to the stall-attribution counters so
 // that attribution still sums to exactly 100% of hart-cycles. The jump
-// is clamped so the cycle-budget and livelock checks fire at exactly
-// the cycle they would have under single-stepping.
-func (m *Machine) fastForward(now, maxCycles uint64) {
+// is clamped so the Advance pause, the cycle-budget error and the
+// livelock check all fire at exactly the cycle they would have under
+// single-stepping.
+func (m *Machine) fastForward(now, stop uint64) {
 	wake, ok := m.nextWake(now)
 	if !ok {
 		return
 	}
 	target := wake
-	if limit := maxCycles + 1; target > limit {
+	if limit := stop + 1; target > limit {
 		target = limit
 	}
 	if m.Mem.Drained() {

@@ -1,0 +1,569 @@
+package lbp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/trace"
+)
+
+// Checkpoint/restore. A machine paused at a cycle boundary (after New,
+// after a completed run, or wherever Advance stopped) is pure data plus
+// three pointer webs: uops referenced from the instruction table, the
+// rename map, the execution slot and their dependence edges; in-flight
+// memory-event clients pointing back at harts and uops; and the
+// predecoded code image. The first two flatten to stable identifiers —
+// every referencable uop lives in its hart's reorder buffer, so (hart
+// global number, ROB index) names it — and the third is recomputed from
+// the code bank. Everything else serializes by value with encoding/gob.
+//
+// Versioning rules (DESIGN.md §"Serializable machine state"): any change
+// to the meaning, order or encoding of a saved field bumps
+// checkpointVersion, and Restore refuses other versions outright —
+// checkpoints are short-lived run-splitting artifacts, not an archival
+// format, so there are no cross-version migrations.
+
+// checkpointVersion is the format number embedded in every checkpoint.
+const checkpointVersion = 1
+
+// savedUop flattens a uop: the instruction rebuilds from its raw word,
+// the pipeline class from the opcode, and the dependence edges from ROB
+// indices (-1 = resolved).
+type savedUop struct {
+	Raw     uint32
+	PC      uint32
+	Seq     uint64
+	Src1    uint32
+	Src2    uint32
+	Dep1    int32
+	Dep2    int32
+	Issued  bool
+	Done    bool
+	Value   uint32
+	NeedsRB bool
+	MemWait bool
+	IsRet   bool
+	RetRA   uint32
+	RetT0   uint32
+}
+
+// savedHart flattens a hart. IT, LastWriter and Exec reference uops by
+// ROB index; IB is the only uop that can live outside the ROB (fetched,
+// not yet renamed) and is stored inline.
+type savedHart struct {
+	State       uint8
+	PC          uint32
+	PCValid     bool
+	PCReady     uint64
+	SyncmWait   bool
+	Regs        [32]uint32
+	LastWriter  [32]int32
+	HasIB       bool
+	IB          savedUop
+	Rob         []savedUop
+	IT          []int32
+	Seq         uint64
+	Renamed     uint64
+	Exec        int32
+	ExecReadyAt uint64
+	InflightMem int32
+	HasPred     bool
+	PredSignal  bool
+	Remote      [][]uint32
+	Retired     uint64
+	StartedBy   uint32
+	EndingEpoch uint64
+	LastCommit  uint64
+}
+
+// savedCore holds the per-core round-robin pointers and statistic
+// counters (busy counts and the active list are derived state).
+type savedCore struct {
+	FetchRR  int32
+	RenameRR int32
+	IssueRR  int32
+	WbRR     int32
+	CommitRR int32
+	Fetched  uint64
+	Forks    uint64
+	Sends    uint64
+}
+
+// Client kinds for savedClient, one per payload type in clients.go.
+const (
+	clientLoad uint8 = iota
+	clientStore
+	clientSwre
+	clientStart
+	clientSignal
+	clientJoin
+)
+
+// savedClient flattens one in-flight memory-event client. The fields
+// are a union keyed by Kind, mirroring the payload structs.
+type savedClient struct {
+	Kind     uint8
+	Hart     uint32 // clientLoad/clientStore: issuing hart global number
+	Rob      int32  // clientLoad: ROB index of the waiting uop
+	Val      uint32 // clientLoad: parked bank value; clientSwre: sent value
+	FromCore int32
+	FromHart int32
+	Tgt      uint32
+	PC       uint32
+	Addr     uint32
+	Idx      uint32
+}
+
+// checkpoint is the serialized machine image.
+type checkpoint struct {
+	Version    int
+	Cfg        Config
+	Cycle      uint64
+	Running    bool
+	Exited     bool
+	HaltMsg    string
+	ErrMsg     string
+	Progress   uint64
+	Stats      Stats
+	Profiling  bool
+	DecodedLen uint32
+	Cores      []savedCore
+	Harts      []savedHart
+	HPerf      []perf.HartCounters
+	CPerf      []perf.CoreCounters
+	Mem        mem.State
+	MemClients []savedClient
+	HasTrace   bool
+	Trace      trace.RecorderState
+	Devices    [][]byte
+}
+
+// Checkpoint serializes the full architectural state of the machine:
+// hart registers, reorder buffers and rename maps, in-flight memory
+// events and link-allocator state, device state, cycle and performance
+// counters, and the trace-digest chain. Restoring the bytes with
+// Restore and advancing reproduces the uninterrupted run bit-exactly.
+// Host-side execution knobs (worker count, fast-forward) are not part
+// of the state — they never affect simulated results.
+func (m *Machine) Checkpoint() ([]byte, error) {
+	for _, c := range m.cores {
+		if len(c.pend) > 0 || len(c.evbuf) > 0 {
+			return nil, fmt.Errorf("lbp: checkpoint mid-cycle: core %d has unapplied effects", c.idx)
+		}
+	}
+	cp := checkpoint{
+		Version:    checkpointVersion,
+		Cfg:        m.cfg,
+		Cycle:      m.cycle,
+		Running:    m.running,
+		Exited:     m.exited,
+		HaltMsg:    m.haltMsg,
+		Progress:   m.progress,
+		Stats:      m.stats,
+		Profiling:  m.profiling,
+		DecodedLen: uint32(len(m.decoded)),
+		HPerf:      append([]perf.HartCounters(nil), m.hperf...),
+		CPerf:      append([]perf.CoreCounters(nil), m.cperf...),
+	}
+	if m.err != nil {
+		cp.ErrMsg = m.err.Error()
+	}
+	cp.Cores = make([]savedCore, len(m.cores))
+	for i, c := range m.cores {
+		cp.Cores[i] = savedCore{
+			FetchRR: int32(c.fetchRR), RenameRR: int32(c.renameRR),
+			IssueRR: int32(c.issueRR), WbRR: int32(c.wbRR), CommitRR: int32(c.commitRR),
+			Fetched: c.statFetched, Forks: c.statForks, Sends: c.statSends,
+		}
+	}
+	cp.Harts = make([]savedHart, len(m.harts))
+	for i, h := range m.harts {
+		sh, err := saveHart(h)
+		if err != nil {
+			return nil, err
+		}
+		cp.Harts[i] = sh
+	}
+	memState, clients := m.Mem.CaptureState()
+	cp.Mem = *memState
+	cp.MemClients = make([]savedClient, len(clients))
+	for i, cl := range clients {
+		sc, err := saveClient(cl)
+		if err != nil {
+			return nil, err
+		}
+		cp.MemClients[i] = sc
+	}
+	if m.rec != nil {
+		cp.HasTrace = true
+		cp.Trace = m.rec.State()
+	}
+	cp.Devices = make([][]byte, len(m.devices))
+	for i, d := range m.devices {
+		s, ok := d.(Stateful)
+		if !ok {
+			return nil, fmt.Errorf("lbp: device %d (%T) does not support checkpointing", i, d)
+		}
+		b, err := s.DeviceState()
+		if err != nil {
+			return nil, fmt.Errorf("lbp: device %d: %w", i, err)
+		}
+		cp.Devices[i] = b
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&cp); err != nil {
+		return nil, fmt.Errorf("lbp: encoding checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a machine from Checkpoint bytes. Devices are not
+// serializable as configuration, so the caller passes freshly built,
+// identically configured devices in the original AddDevice order; their
+// mutable state is restored from the checkpoint before attachment.
+func Restore(data []byte, devices ...Device) (*Machine, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("lbp: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("lbp: checkpoint version %d, this build supports %d",
+			cp.Version, checkpointVersion)
+	}
+	if len(devices) != len(cp.Devices) {
+		return nil, fmt.Errorf("lbp: checkpoint was taken with %d devices, restore got %d",
+			len(cp.Devices), len(devices))
+	}
+	if cp.Cfg.Cores <= 0 {
+		return nil, fmt.Errorf("lbp: checkpoint has a non-positive core count")
+	}
+	m := New(cp.Cfg)
+	if len(cp.Cores) != len(m.cores) || len(cp.Harts) != len(m.harts) ||
+		len(cp.HPerf) != len(m.hperf) || len(cp.CPerf) != len(m.cperf) {
+		return nil, fmt.Errorf("lbp: checkpoint geometry does not match its configuration")
+	}
+	m.cycle = cp.Cycle
+	m.running = cp.Running
+	m.exited = cp.Exited
+	m.haltMsg = cp.HaltMsg
+	if cp.ErrMsg != "" {
+		m.err = faultError(cp.ErrMsg)
+	}
+	m.progress = cp.Progress
+	m.stats = cp.Stats
+	copy(m.hperf, cp.HPerf)
+	copy(m.cperf, cp.CPerf)
+	if cp.Profiling {
+		m.EnableProfiling()
+	}
+	for i, sc := range cp.Cores {
+		c := m.cores[i]
+		c.fetchRR, c.renameRR = int(sc.FetchRR), int(sc.RenameRR)
+		c.issueRR, c.wbRR, c.commitRR = int(sc.IssueRR), int(sc.WbRR), int(sc.CommitRR)
+		c.statFetched, c.statForks, c.statSends = sc.Fetched, sc.Forks, sc.Sends
+	}
+	for i := range cp.Harts {
+		if err := restoreHart(m.harts[i], &cp.Harts[i]); err != nil {
+			return nil, err
+		}
+	}
+	clients := make([]any, len(cp.MemClients))
+	for i := range cp.MemClients {
+		cl, err := m.restoreClient(&cp.MemClients[i])
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = cl
+	}
+	if err := m.Mem.RestoreState(&cp.Mem, clients); err != nil {
+		return nil, err
+	}
+	m.decoded = make([]isa.Inst, cp.DecodedLen)
+	for i := range m.decoded {
+		w, ok := m.Mem.FetchWord(uint32(4 * i))
+		if !ok {
+			return nil, fmt.Errorf("lbp: checkpoint decoded image exceeds the code bank")
+		}
+		m.decoded[i] = isa.Decode(w)
+	}
+	for _, c := range m.cores {
+		c.activeEdge = false
+	}
+	m.rebuildActive()
+	if cp.HasTrace {
+		m.SetTrace(trace.NewFromState(cp.Trace))
+	}
+	for i, d := range devices {
+		s, ok := d.(Stateful)
+		if !ok {
+			return nil, fmt.Errorf("lbp: restore device %d (%T) does not support checkpointing", i, d)
+		}
+		if err := s.RestoreDeviceState(cp.Devices[i]); err != nil {
+			return nil, fmt.Errorf("lbp: restore device %d: %w", i, err)
+		}
+		m.AddDevice(d)
+	}
+	return m, nil
+}
+
+// robIndex finds u in h's reorder buffer (-1 for nil; the buffer is at
+// most a few dozen entries, so the scan is fine on the cold path).
+func robIndex(h *hart, u *uop) (int32, error) {
+	if u == nil {
+		return -1, nil
+	}
+	for i, v := range h.rob {
+		if v == u {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("lbp: hart %d references a uop outside its reorder buffer", h.gid)
+}
+
+// robAt resolves a saved ROB index back to a pointer (-1 = nil).
+func robAt(h *hart, idx int32) (*uop, error) {
+	if idx < 0 {
+		return nil, nil
+	}
+	if int(idx) >= len(h.rob) {
+		return nil, fmt.Errorf("lbp: checkpoint references rob slot %d of %d on hart %d",
+			idx, len(h.rob), h.gid)
+	}
+	return h.rob[idx], nil
+}
+
+func saveUop(h *hart, u *uop) (savedUop, error) {
+	d1, err := robIndex(h, u.dep1)
+	if err != nil {
+		return savedUop{}, err
+	}
+	d2, err := robIndex(h, u.dep2)
+	if err != nil {
+		return savedUop{}, err
+	}
+	return savedUop{
+		Raw: u.inst.Raw, PC: u.pc, Seq: u.seq,
+		Src1: u.src1, Src2: u.src2, Dep1: d1, Dep2: d2,
+		Issued: u.issued, Done: u.done, Value: u.value,
+		NeedsRB: u.needsRB, MemWait: u.memWait,
+		IsRet: u.isRet, RetRA: u.retRA, RetT0: u.retT0,
+	}, nil
+}
+
+// restoreUopInto fills everything but the dependence edges, which need
+// the whole ROB rebuilt first.
+func restoreUopInto(u *uop, su *savedUop) {
+	in := isa.Decode(su.Raw)
+	*u = uop{
+		inst: in, pc: su.PC, seq: su.Seq, cls: isa.ClassOf(in.Op),
+		src1: su.Src1, src2: su.Src2,
+		issued: su.Issued, done: su.Done, value: su.Value,
+		needsRB: su.NeedsRB, memWait: su.MemWait,
+		isRet: su.IsRet, retRA: su.RetRA, retT0: su.RetT0,
+	}
+}
+
+func saveHart(h *hart) (savedHart, error) {
+	sh := savedHart{
+		State: uint8(h.state), PC: h.pc, PCValid: h.pcValid, PCReady: h.pcReadyCycle,
+		SyncmWait: h.syncmWait, Regs: h.regs,
+		Seq: h.seq, Renamed: h.renamed, ExecReadyAt: h.execReadyAt,
+		InflightMem: int32(h.inflightMem), HasPred: h.hasPred, PredSignal: h.predSignal,
+		Retired: h.retired, StartedBy: h.startedBy,
+		EndingEpoch: h.endingEpoch, LastCommit: h.lastCommit,
+	}
+	var err error
+	sh.Rob = make([]savedUop, len(h.rob))
+	for i, u := range h.rob {
+		if sh.Rob[i], err = saveUop(h, u); err != nil {
+			return savedHart{}, err
+		}
+	}
+	sh.IT = make([]int32, len(h.it))
+	for i, u := range h.it {
+		if sh.IT[i], err = robIndex(h, u); err != nil {
+			return savedHart{}, err
+		}
+	}
+	for r, u := range h.lastWriter {
+		if sh.LastWriter[r], err = robIndex(h, u); err != nil {
+			return savedHart{}, err
+		}
+	}
+	if sh.Exec, err = robIndex(h, h.exec); err != nil {
+		return savedHart{}, err
+	}
+	if h.ib != nil {
+		sh.HasIB = true
+		if sh.IB, err = saveUop(h, h.ib); err != nil {
+			return savedHart{}, err
+		}
+	}
+	sh.Remote = make([][]uint32, len(h.remote))
+	for i := range h.remote {
+		sh.Remote[i] = append([]uint32(nil), h.remote[i].vals...)
+	}
+	return sh, nil
+}
+
+func restoreHart(h *hart, sh *savedHart) error {
+	if sh.State > uint8(hartWaitJoin) {
+		return fmt.Errorf("lbp: checkpoint hart %d has unknown state %d", h.gid, sh.State)
+	}
+	if len(sh.Remote) != len(h.remote) {
+		return fmt.Errorf("lbp: checkpoint hart %d has %d result buffers, machine has %d",
+			h.gid, len(sh.Remote), len(h.remote))
+	}
+	h.setState(hartState(sh.State)) // keeps the core busy count right
+	h.pc, h.pcValid, h.pcReadyCycle = sh.PC, sh.PCValid, sh.PCReady
+	h.syncmWait = sh.SyncmWait
+	h.regs = sh.Regs
+	h.seq, h.renamed = sh.Seq, sh.Renamed
+	h.execReadyAt = sh.ExecReadyAt
+	h.inflightMem = int(sh.InflightMem)
+	h.hasPred, h.predSignal = sh.HasPred, sh.PredSignal
+	h.retired = sh.Retired
+	h.startedBy = sh.StartedBy
+	h.endingEpoch = sh.EndingEpoch
+	h.lastCommit = sh.LastCommit
+	h.rob = h.rob[:0]
+	for i := range sh.Rob {
+		u := h.newUop()
+		restoreUopInto(u, &sh.Rob[i])
+		h.rob = append(h.rob, u)
+	}
+	for i := range sh.Rob {
+		su := &sh.Rob[i]
+		var err error
+		if h.rob[i].dep1, err = robAt(h, su.Dep1); err != nil {
+			return err
+		}
+		if h.rob[i].dep2, err = robAt(h, su.Dep2); err != nil {
+			return err
+		}
+	}
+	h.it = h.it[:0]
+	for _, idx := range sh.IT {
+		u, err := robAt(h, idx)
+		if err != nil {
+			return err
+		}
+		if u == nil {
+			return fmt.Errorf("lbp: checkpoint hart %d has a nil instruction-table entry", h.gid)
+		}
+		h.it = append(h.it, u)
+	}
+	for r := range sh.LastWriter {
+		u, err := robAt(h, sh.LastWriter[r])
+		if err != nil {
+			return err
+		}
+		h.lastWriter[r] = u
+	}
+	exec, err := robAt(h, sh.Exec)
+	if err != nil {
+		return err
+	}
+	h.exec = exec
+	h.ib = nil
+	if sh.HasIB {
+		if sh.IB.Dep1 >= 0 || sh.IB.Dep2 >= 0 {
+			return fmt.Errorf("lbp: checkpoint hart %d has a pre-rename uop with dependencies", h.gid)
+		}
+		u := h.newUop()
+		restoreUopInto(u, &sh.IB)
+		h.ib = u
+	}
+	for i := range h.remote {
+		h.remote[i].vals = append(h.remote[i].vals[:0], sh.Remote[i]...)
+	}
+	return nil
+}
+
+func saveClient(cl any) (savedClient, error) {
+	switch c := cl.(type) {
+	case *loadClient:
+		idx, err := robIndex(c.h, c.u)
+		if err != nil {
+			return savedClient{}, err
+		}
+		if idx < 0 {
+			return savedClient{}, fmt.Errorf("lbp: in-flight load on hart %d has no uop", c.h.gid)
+		}
+		return savedClient{Kind: clientLoad, Hart: c.h.gid, Rob: idx, Val: c.v}, nil
+	case *storeClient:
+		return savedClient{Kind: clientStore, Hart: c.h.gid}, nil
+	case *swreMsg:
+		return savedClient{Kind: clientSwre, FromCore: int32(c.fromCore), FromHart: int32(c.fromHart),
+			Tgt: c.tgt, Idx: c.idx, Val: c.val, PC: c.pc}, nil
+	case *startMsg:
+		return savedClient{Kind: clientStart, FromCore: int32(c.fromCore), FromHart: int32(c.fromHart),
+			Tgt: c.tgt, PC: c.pc}, nil
+	case *signalMsg:
+		return savedClient{Kind: clientSignal, Tgt: c.tgt}, nil
+	case *joinMsg:
+		return savedClient{Kind: clientJoin, FromCore: int32(c.fromCore), FromHart: int32(c.fromHart),
+			Tgt: c.tgt, Addr: c.addr}, nil
+	default:
+		return savedClient{}, fmt.Errorf("lbp: cannot checkpoint in-flight memory client %T", cl)
+	}
+}
+
+func (m *Machine) restoreClient(sc *savedClient) (any, error) {
+	hartAt := func(gid uint32) (*hart, error) {
+		if int(gid) >= len(m.harts) {
+			return nil, fmt.Errorf("lbp: checkpoint references hart %d of %d", gid, len(m.harts))
+		}
+		return m.harts[gid], nil
+	}
+	switch sc.Kind {
+	case clientLoad:
+		h, err := hartAt(sc.Hart)
+		if err != nil {
+			return nil, err
+		}
+		u, err := robAt(h, sc.Rob)
+		if err != nil {
+			return nil, err
+		}
+		if u == nil {
+			return nil, fmt.Errorf("lbp: in-flight load on hart %d has no uop", sc.Hart)
+		}
+		return &loadClient{h: h, u: u, v: sc.Val}, nil
+	case clientStore:
+		h, err := hartAt(sc.Hart)
+		if err != nil {
+			return nil, err
+		}
+		return &storeClient{h: h}, nil
+	case clientSwre:
+		if _, err := hartAt(sc.Tgt); err != nil {
+			return nil, err
+		}
+		return &swreMsg{m: m, fromCore: int(sc.FromCore), fromHart: int(sc.FromHart),
+			tgt: sc.Tgt, idx: sc.Idx, val: sc.Val, pc: sc.PC}, nil
+	case clientStart:
+		if _, err := hartAt(sc.Tgt); err != nil {
+			return nil, err
+		}
+		return &startMsg{m: m, fromCore: int(sc.FromCore), fromHart: int(sc.FromHart),
+			tgt: sc.Tgt, pc: sc.PC}, nil
+	case clientSignal:
+		if _, err := hartAt(sc.Tgt); err != nil {
+			return nil, err
+		}
+		return &signalMsg{m: m, tgt: sc.Tgt}, nil
+	case clientJoin:
+		if _, err := hartAt(sc.Tgt); err != nil {
+			return nil, err
+		}
+		return &joinMsg{m: m, fromCore: int(sc.FromCore), fromHart: int(sc.FromHart),
+			tgt: sc.Tgt, addr: sc.Addr}, nil
+	default:
+		return nil, fmt.Errorf("lbp: checkpoint has unknown client kind %d", sc.Kind)
+	}
+}

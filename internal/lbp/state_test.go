@@ -1,0 +1,173 @@
+package lbp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/trace"
+)
+
+// ignoreFastForwarded zeroes the host-side diagnostic that legitimately
+// differs between a split and an uninterrupted run (the resume leg
+// single-steps the quiescent cycle it wakes on).
+func ignoreFastForwarded(s Stats) Stats {
+	s.FastForwarded = 0
+	return s
+}
+
+func TestCheckpointResumeTeam(t *testing.T) {
+	const cores, nt = 2, 8
+	const budget = 2_000_000
+	prog, err := asm.Assemble(sprintf(teamProgram, nt, nt), asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	base := New(DefaultConfig(cores))
+	base.SetTrace(trace.New(0))
+	if err := base.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	baseRes, err := base.Run(budget)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkTeamResult(t, base, nt)
+	total := baseRes.Stats.Cycles
+
+	for _, k := range []uint64{1, 17, total / 3, total / 2, total - 1} {
+		m := New(DefaultConfig(cores))
+		m.SetTrace(trace.New(0))
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		res, err := m.Advance(k)
+		if err != nil {
+			t.Fatalf("k=%d: advance: %v", k, err)
+		}
+		if res != nil {
+			t.Fatalf("k=%d: program finished before the split point", k)
+		}
+		cp, err := m.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint: %v", k, err)
+		}
+		m2, err := Restore(cp)
+		if err != nil {
+			t.Fatalf("k=%d: restore: %v", k, err)
+		}
+		if m2.Cycle() != k {
+			t.Fatalf("k=%d: restored cycle = %d", k, m2.Cycle())
+		}
+		// A checkpoint of the restored machine must be byte-identical:
+		// restore loses nothing.
+		cp2, err := m2.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: re-checkpoint: %v", k, err)
+		}
+		if !bytes.Equal(cp, cp2) {
+			t.Errorf("k=%d: re-checkpoint differs from the original", k)
+		}
+		res2, err := m2.Run(budget)
+		if err != nil {
+			t.Fatalf("k=%d: resumed run: %v", k, err)
+		}
+		if res2.Halt != baseRes.Halt {
+			t.Errorf("k=%d: halt = %q, want %q", k, res2.Halt, baseRes.Halt)
+		}
+		if !reflect.DeepEqual(ignoreFastForwarded(res2.Stats), ignoreFastForwarded(baseRes.Stats)) {
+			t.Errorf("k=%d: stats diverge:\n  split  %+v\n  single %+v", k, res2.Stats, baseRes.Stats)
+		}
+		if res2.Mem != baseRes.Mem {
+			t.Errorf("k=%d: memory stats diverge:\n  split  %+v\n  single %+v", k, res2.Mem, baseRes.Mem)
+		}
+		if !trace.Same(m2.Trace(), base.Trace()) {
+			t.Errorf("k=%d: trace diverges: digest %#x/%d, want %#x/%d", k,
+				m2.Trace().Digest(), m2.Trace().Count(),
+				base.Trace().Digest(), base.Trace().Count())
+		}
+		checkTeamResult(t, m2, nt)
+	}
+}
+
+func TestCheckpointRefusesUnknownDevice(t *testing.T) {
+	prog, err := asm.Assemble("main:\n\tli t0, -1\n\tli ra, 0\n\tp_ret\n", asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(DefaultConfig(1))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	m.AddDevice(plainDevice{})
+	if _, err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint must refuse a device without Stateful")
+	}
+}
+
+// plainDevice implements Device but not Stateful.
+type plainDevice struct{}
+
+func (plainDevice) Step(*Machine, uint64) {}
+
+func TestMachineReset(t *testing.T) {
+	const cores, nt = 2, 6
+	prog, err := asm.Assemble(sprintf(teamProgram, nt, nt), asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	run := func(m *Machine) (*Result, uint64, uint64) {
+		t.Helper()
+		m.SetTrace(trace.New(0))
+		res, err := m.Run(2_000_000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res, m.Trace().Digest(), m.Trace().Count()
+	}
+	fresh := New(DefaultConfig(cores))
+	if err := fresh.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	wantRes, wantDig, wantCnt := run(fresh)
+
+	m := New(DefaultConfig(cores))
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	run(m) // dirty the machine
+	for i := 0; i < 2; i++ {
+		if err := m.Reset(prog); err != nil {
+			t.Fatalf("reset %d: %v", i, err)
+		}
+		res, dig, cnt := run(m)
+		if dig != wantDig || cnt != wantCnt {
+			t.Fatalf("reset %d: digest %#x/%d, want %#x/%d", i, dig, cnt, wantDig, wantCnt)
+		}
+		if !reflect.DeepEqual(res.Stats, wantRes.Stats) {
+			t.Fatalf("reset %d: stats diverge:\n  reset %+v\n  fresh %+v", i, res.Stats, wantRes.Stats)
+		}
+		checkTeamResult(t, m, nt)
+	}
+}
+
+func TestReadSharedSliceBounds(t *testing.T) {
+	m := New(DefaultConfig(1))
+	const sharedBase = 0x80000000
+	if _, ok := m.ReadSharedSlice(sharedBase, -1); ok {
+		t.Error("negative length must fail")
+	}
+	if _, ok := m.ReadSharedSlice(sharedBase, 1<<30); ok {
+		t.Error("a range past the top of the address space must fail")
+	}
+	if _, ok := m.ReadSharedSlice(0xFFFFFFFC, 2); ok {
+		t.Error("a range wrapping the 32-bit address space must fail")
+	}
+	if v, ok := m.ReadSharedSlice(sharedBase, 4); !ok || len(v) != 4 {
+		t.Errorf("small in-range read = (%v, %v), want 4 words", v, ok)
+	}
+	if v, ok := m.ReadSharedSlice(sharedBase, 0); !ok || len(v) != 0 {
+		t.Errorf("zero-length read = (%v, %v), want empty ok", v, ok)
+	}
+}

@@ -11,12 +11,106 @@ const (
 	Width32 Width = 4
 )
 
+// LoadClient receives a load's value at bank service time and its
+// completion at response-delivery time. A shared load schedules two
+// events — the bank read at service time parks the value in the client,
+// the response delivery hands back the completion cycle — both carrying
+// the same client, so implementations must be pointer types: checkpoint
+// capture relies on pointer identity to keep the pair attached to one
+// serialized client record.
+type LoadClient interface {
+	LoadValue(v uint32)
+	LoadDone(done uint64)
+}
+
+// DoneClient receives a completion cycle: a store acknowledged back at
+// the core, a continuation-value write performed at the target bank, or
+// a control message delivered over the neighbor links.
+type DoneClient interface {
+	Done(done uint64)
+}
+
+// LoadFunc adapts a callback to the LoadClient interface, for tests and
+// tools. Adapter clients are not serializable: a checkpoint taken while
+// one is in flight fails.
+func LoadFunc(fn func(value uint32, done uint64)) LoadClient {
+	return &loadFunc{fn: fn}
+}
+
+type loadFunc struct {
+	fn func(uint32, uint64)
+	v  uint32
+}
+
+func (l *loadFunc) LoadValue(v uint32)   { l.v = v }
+func (l *loadFunc) LoadDone(done uint64) { l.fn(l.v, done) }
+
+// DoneFunc adapts a callback to the DoneClient interface, for tests and
+// tools. Like LoadFunc adapters it cannot be checkpointed.
+type DoneFunc func(done uint64)
+
+// Done implements DoneClient.
+func (f DoneFunc) Done(done uint64) { f(done) }
+
+// evKind discriminates the typed memory events. Events are plain data —
+// no closures — so the in-flight queue is serializable; the client
+// fields carry the machine-side payload invoked on dispatch.
+type evKind uint8
+
+const (
+	evLocalLoad   evKind = iota // read a local bank, deliver value + done
+	evSharedRead                // read a shared bank at service time (value parks in the client)
+	evLoadDone                  // deliver a shared load's completion
+	evLocalStore                // write a local bank, acknowledge
+	evSharedWrite               // write a shared bank at service time
+	evStoreDone                 // acknowledge a shared store
+	evCVWrite                   // continuation-value word write into a local bank
+	evMessage                   // control-message delivery (forward/backward links)
+)
+
 // event is a scheduled action in the memory system: applying an access at
 // its bank service time, or delivering a response at its completion time.
 type event struct {
-	cycle uint64
-	seq   uint64
-	run   func()
+	cycle  uint64
+	seq    uint64
+	kind   evKind
+	core   int32 // bank/core index of the access
+	off    uint32
+	addr   uint32
+	val    uint32
+	width  Width
+	signed bool
+	lc     LoadClient
+	dc     DoneClient
+}
+
+// dispatch performs one due event.
+func (s *System) dispatch(e *event) {
+	switch e.kind {
+	case evLocalLoad:
+		e.lc.LoadValue(subWordLoad(s.local[e.core][e.off], e.addr, e.width, e.signed))
+		e.lc.LoadDone(e.cycle)
+	case evSharedRead:
+		e.lc.LoadValue(subWordLoad(s.shared[e.core][e.off], e.addr, e.width, e.signed))
+	case evLoadDone:
+		e.lc.LoadDone(e.cycle)
+	case evLocalStore:
+		s.local[e.core][e.off] = subWordStore(s.local[e.core][e.off], e.val, e.addr, e.width)
+		if e.dc != nil {
+			e.dc.Done(e.cycle)
+		}
+	case evSharedWrite:
+		s.shared[e.core][e.off] = subWordStore(s.shared[e.core][e.off], e.val, e.addr, e.width)
+	case evStoreDone, evMessage:
+		if e.dc != nil {
+			e.dc.Done(e.cycle)
+		}
+	case evCVWrite:
+		s.local[e.core][e.off] = e.val
+		if e.dc != nil {
+			e.dc.Done(e.cycle)
+		}
+	}
 }
 
 // eventQueue is a binary min-heap of events ordered by (cycle, seq). It is
@@ -53,7 +147,7 @@ func (q *eventQueue) pop() event {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = event{} // release the closure for GC
+	h[n] = event{} // release the clients for GC
 	h = h[:n]
 	*q = h
 	i := 0
@@ -75,9 +169,11 @@ func (q *eventQueue) pop() event {
 	return top
 }
 
-func (s *System) schedule(cycle uint64, run func()) {
+func (s *System) schedule(cycle uint64, e event) {
 	s.seq++
-	s.events.push(event{cycle: cycle, seq: s.seq, run: run})
+	e.cycle = cycle
+	e.seq = s.seq
+	s.events.push(e)
 	if len(s.events) > s.Stats.PeakPendingEvents {
 		s.Stats.PeakPendingEvents = len(s.events)
 	}
@@ -89,7 +185,7 @@ func (s *System) schedule(cycle uint64, run func()) {
 func (s *System) Step(now uint64) {
 	for len(s.events) > 0 && s.events[0].cycle <= now {
 		e := s.events.pop()
-		e.run()
+		s.dispatch(&e)
 	}
 }
 
@@ -244,10 +340,11 @@ func subWordStore(w, v, addr uint32, width Width) uint32 {
 	}
 }
 
-// SubmitLoad submits a load from `core` at cycle `now`. When the response
-// arrives, cb is invoked (during a later Step call) with the loaded value
-// and the completion cycle. It returns false for an unmapped address.
-func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, signed bool, cb func(value uint32, done uint64)) bool {
+// SubmitLoad submits a load from `core` at cycle `now`. The client's
+// LoadValue is invoked at bank service time and LoadDone when the
+// response arrives back at the core (both during later Step calls).
+// It returns false for an unmapped address.
+func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, signed bool, lc LoadClient) bool {
 	switch RegionOf(addr) {
 	case RegionLocal:
 		off, ok := s.localSlot(addr)
@@ -258,10 +355,8 @@ func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, sign
 		t := s.alloc(&s.localPort[core], now+1, perf.LinkLocalPort)
 		done := t + uint64(s.cfg.LocalLat)
 		s.Perf.LocalLat.Observe(done - now)
-		s.schedule(done, func() {
-			v := subWordLoad(s.local[core][off], addr, width, signed)
-			cb(v, done)
-		})
+		s.schedule(done, event{kind: evLocalLoad, core: int32(core), off: off,
+			addr: addr, width: width, signed: signed, lc: lc})
 		return true
 	case RegionShared:
 		bank, off, ok := s.sharedSlot(addr)
@@ -270,20 +365,18 @@ func (s *System) SubmitLoad(now uint64, core int, addr uint32, width Width, sign
 		}
 		serviceT, done := s.routeShared(now, core, bank)
 		s.observeShared(core, bank, done-now)
-		var v uint32
-		s.schedule(serviceT, func() {
-			v = subWordLoad(s.shared[bank][off], addr, width, signed)
-		})
-		s.schedule(done, func() { cb(v, done) })
+		s.schedule(serviceT, event{kind: evSharedRead, core: int32(bank), off: off,
+			addr: addr, width: width, signed: signed, lc: lc})
+		s.schedule(done, event{kind: evLoadDone, lc: lc})
 		return true
 	default:
 		return false
 	}
 }
 
-// SubmitStore submits a store from `core`. cb (optional) is invoked when
+// SubmitStore submits a store from `core`. dc (optional) is invoked when
 // the write is acknowledged back at the core.
-func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Width, cb func(done uint64)) bool {
+func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Width, dc DoneClient) bool {
 	switch RegionOf(addr) {
 	case RegionLocal:
 		off, ok := s.localSlot(addr)
@@ -294,12 +387,8 @@ func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Wid
 		t := s.alloc(&s.localPort[core], now+1, perf.LinkLocalPort)
 		done := t + uint64(s.cfg.LocalLat)
 		s.Perf.LocalLat.Observe(done - now)
-		s.schedule(done, func() {
-			s.local[core][off] = subWordStore(s.local[core][off], value, addr, width)
-			if cb != nil {
-				cb(done)
-			}
-		})
+		s.schedule(done, event{kind: evLocalStore, core: int32(core), off: off,
+			addr: addr, val: value, width: width, dc: dc})
 		return true
 	case RegionShared:
 		bank, off, ok := s.sharedSlot(addr)
@@ -308,14 +397,9 @@ func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Wid
 		}
 		serviceT, done := s.routeShared(now, core, bank)
 		s.observeShared(core, bank, done-now)
-		s.schedule(serviceT, func() {
-			s.shared[bank][off] = subWordStore(s.shared[bank][off], value, addr, width)
-		})
-		s.schedule(done, func() {
-			if cb != nil {
-				cb(done)
-			}
-		})
+		s.schedule(serviceT, event{kind: evSharedWrite, core: int32(bank), off: off,
+			addr: addr, val: value, width: width})
+		s.schedule(done, event{kind: evStoreDone, dc: dc})
 		return true
 	default:
 		return false
@@ -325,8 +409,8 @@ func (s *System) SubmitStore(now uint64, core int, addr, value uint32, width Wid
 // SubmitCVWrite submits a continuation-value write (p_swcv): a word store
 // into the local bank of targetCore, issued by fromCore. If the target is
 // the next core, the forward inter-core link is traversed first.
-// cb is invoked when the write has been performed at the target bank.
-func (s *System) SubmitCVWrite(now uint64, fromCore, targetCore int, addr, value uint32, cb func(done uint64)) bool {
+// dc is invoked when the write has been performed at the target bank.
+func (s *System) SubmitCVWrite(now uint64, fromCore, targetCore int, addr, value uint32, dc DoneClient) bool {
 	off, ok := s.localSlot(addr)
 	if !ok {
 		return false
@@ -343,11 +427,6 @@ func (s *System) SubmitCVWrite(now uint64, fromCore, targetCore int, addr, value
 	} else {
 		s.Perf.RemoteLat.Observe(done - now)
 	}
-	s.schedule(done, func() {
-		s.local[targetCore][off] = value
-		if cb != nil {
-			cb(done)
-		}
-	})
+	s.schedule(done, event{kind: evCVWrite, core: int32(targetCore), off: off, val: value, dc: dc})
 	return true
 }

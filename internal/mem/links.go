@@ -24,8 +24,8 @@ func (s *System) ensureBackward() {
 
 // SendForward delivers a control message from core `from` to core `to`,
 // where to == from or to == from+1 (the forward links only connect
-// neighbors). fn runs at delivery time during a Step call.
-func (s *System) SendForward(now uint64, from, to int, fn func(done uint64)) error {
+// neighbors). The client's Done runs at delivery time during a Step call.
+func (s *System) SendForward(now uint64, from, to int, dc DoneClient) error {
 	if to != from && to != from+1 {
 		return fmt.Errorf("mem: forward message %d->%d is not neighbor-bound", from, to)
 	}
@@ -36,13 +36,13 @@ func (s *System) SendForward(now uint64, from, to int, fn func(done uint64)) err
 			t += uint64(s.cfg.ChipHopLat) // neighbor link crosses the chip edge
 		}
 	}
-	s.schedule(t, func() { fn(t) })
+	s.schedule(t, event{kind: evMessage, dc: dc})
 	return nil
 }
 
 // SendBackward delivers a message from core `from` to a prior core `to`
 // (to <= from) over the backward line, one link per intermediate core.
-func (s *System) SendBackward(now uint64, from, to int, fn func(done uint64)) error {
+func (s *System) SendBackward(now uint64, from, to int, dc DoneClient) error {
 	if to > from {
 		return fmt.Errorf("mem: backward message %d->%d goes forward in core order", from, to)
 	}
@@ -58,12 +58,6 @@ func (s *System) SendBackward(now uint64, from, to int, fn func(done uint64)) er
 			}
 		}
 	}
-	s.schedule(t, func() { fn(t) })
+	s.schedule(t, event{kind: evMessage, dc: dc})
 	return nil
-}
-
-// At schedules fn to run at the given cycle during Step. The machine uses
-// it for deterministic deferred pipeline actions.
-func (s *System) At(cycle uint64, fn func()) {
-	s.schedule(cycle, fn)
 }

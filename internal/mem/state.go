@@ -1,0 +1,247 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Serializable memory-system state.
+//
+// A System is plain data except for the clients attached to in-flight
+// events, which point back into the machine. CaptureState therefore
+// splits a snapshot in two: a State struct of pure values, and a flat
+// client table the caller (internal/lbp) serializes with its own
+// knowledge of the client types. Event records reference clients by
+// table index; a LoadClient shared by a service/delivery event pair is
+// deduplicated by pointer identity so restore re-attaches one client to
+// both events.
+
+// State is the serializable state of a System at a cycle boundary.
+// Bank images are trimmed of trailing zero words; the events slice is
+// the heap's backing array verbatim (a heap restored in array order is
+// the same heap, so pop order is preserved bit-exactly).
+type State struct {
+	Seq   uint64
+	Stats Stats
+	Perf  perf.MemCounters
+
+	Code   []uint32
+	Local  [][]uint32 // per core
+	Shared [][]uint32 // per core
+
+	CoreUp, CoreDown, BankPort, BankLocal, LocalPort []uint64
+	R1UpReq, R1UpResp, R1DownReq, R1DownResp         []uint64
+	R2UpReq, R2UpResp, R2DownReq, R2DownResp         []uint64
+	Forward, Backward                                []uint64
+	ChipUpReq, ChipUpResp, ChipDownReq, ChipDownResp []uint64
+
+	Events []EventState
+}
+
+// EventState is one in-flight event with its client flattened to a
+// table index (-1 = no client attached).
+type EventState struct {
+	Cycle  uint64
+	Seq    uint64
+	Kind   uint8
+	Core   int32
+	Off    uint32
+	Addr   uint32
+	Val    uint32
+	Width  uint8
+	Signed bool
+	Client int32
+}
+
+func trimZeros(words []uint32) []uint32 {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	return append([]uint32(nil), words[:n]...)
+}
+
+func copyU64(v []uint64) []uint64 { return append([]uint64(nil), v...) }
+
+// CaptureState snapshots the system. The returned client table holds
+// every distinct event client in first-reference order; the caller owns
+// serializing and rebuilding them (RestoreState re-attaches by index).
+func (s *System) CaptureState() (*State, []any) {
+	st := &State{
+		Seq:   s.seq,
+		Stats: s.Stats,
+		Perf:  s.Perf,
+		Code:  trimZeros(s.code),
+
+		CoreUp: copyU64(s.coreUp), CoreDown: copyU64(s.coreDown),
+		BankPort: copyU64(s.bankPort), BankLocal: copyU64(s.bankLocal),
+		LocalPort: copyU64(s.localPort),
+		R1UpReq:   copyU64(s.r1UpReq), R1UpResp: copyU64(s.r1UpResp),
+		R1DownReq: copyU64(s.r1DownReq), R1DownResp: copyU64(s.r1DownResp),
+		R2UpReq: copyU64(s.r2UpReq), R2UpResp: copyU64(s.r2UpResp),
+		R2DownReq: copyU64(s.r2DownReq), R2DownResp: copyU64(s.r2DownResp),
+		Forward: copyU64(s.forward), Backward: copyU64(s.backward),
+		ChipUpReq: copyU64(s.chipUpReq), ChipUpResp: copyU64(s.chipUpResp),
+		ChipDownReq: copyU64(s.chipDownReq), ChipDownResp: copyU64(s.chipDownResp),
+	}
+	st.Local = make([][]uint32, len(s.local))
+	for i, b := range s.local {
+		st.Local[i] = trimZeros(b)
+	}
+	st.Shared = make([][]uint32, len(s.shared))
+	for i, b := range s.shared {
+		st.Shared[i] = trimZeros(b)
+	}
+	var clients []any
+	loadIdx := make(map[LoadClient]int32)
+	st.Events = make([]EventState, len(s.events))
+	for i := range s.events {
+		e := &s.events[i]
+		es := EventState{
+			Cycle: e.cycle, Seq: e.seq, Kind: uint8(e.kind), Core: e.core,
+			Off: e.off, Addr: e.addr, Val: e.val,
+			Width: uint8(e.width), Signed: e.signed, Client: -1,
+		}
+		switch {
+		case e.lc != nil:
+			// The two events of a shared load share one client; dedup by
+			// identity (LoadClient implementations are pointers).
+			id, ok := loadIdx[e.lc]
+			if !ok {
+				id = int32(len(clients))
+				clients = append(clients, e.lc)
+				loadIdx[e.lc] = id
+			}
+			es.Client = id
+		case e.dc != nil:
+			// Done clients are used by exactly one event each.
+			es.Client = int32(len(clients))
+			clients = append(clients, e.dc)
+		}
+		st.Events[i] = es
+	}
+	return st, clients
+}
+
+// RestoreState installs a captured snapshot into a freshly built System
+// of the same configuration. clients must be the rebuilt client table,
+// index-aligned with the one CaptureState returned.
+func (s *System) RestoreState(st *State, clients []any) error {
+	if len(st.Local) != len(s.local) || len(st.Shared) != len(s.shared) {
+		return fmt.Errorf("mem: state bank count does not match the configuration")
+	}
+	if len(st.Code) > len(s.code) {
+		return fmt.Errorf("mem: state code image exceeds the code bank")
+	}
+	restoreBank := func(dst, src []uint32, what string, i int) error {
+		if len(src) > len(dst) {
+			return fmt.Errorf("mem: state %s bank %d exceeds its configured size", what, i)
+		}
+		clear(dst)
+		copy(dst, src)
+		return nil
+	}
+	restoreLinks := func(dst, src []uint64, name string) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("mem: state link array %s does not match the configuration", name)
+		}
+		copy(dst, src)
+		return nil
+	}
+	clear(s.code)
+	copy(s.code, st.Code)
+	for i := range s.local {
+		if err := restoreBank(s.local[i], st.Local[i], "local", i); err != nil {
+			return err
+		}
+	}
+	for i := range s.shared {
+		if err := restoreBank(s.shared[i], st.Shared[i], "shared", i); err != nil {
+			return err
+		}
+	}
+	if len(st.Backward) > 0 {
+		s.ensureBackward()
+	}
+	for _, l := range []struct {
+		dst  []uint64
+		src  []uint64
+		name string
+	}{
+		{s.coreUp, st.CoreUp, "coreUp"}, {s.coreDown, st.CoreDown, "coreDown"},
+		{s.bankPort, st.BankPort, "bankPort"}, {s.bankLocal, st.BankLocal, "bankLocal"},
+		{s.localPort, st.LocalPort, "localPort"},
+		{s.r1UpReq, st.R1UpReq, "r1UpReq"}, {s.r1UpResp, st.R1UpResp, "r1UpResp"},
+		{s.r1DownReq, st.R1DownReq, "r1DownReq"}, {s.r1DownResp, st.R1DownResp, "r1DownResp"},
+		{s.r2UpReq, st.R2UpReq, "r2UpReq"}, {s.r2UpResp, st.R2UpResp, "r2UpResp"},
+		{s.r2DownReq, st.R2DownReq, "r2DownReq"}, {s.r2DownResp, st.R2DownResp, "r2DownResp"},
+		{s.forward, st.Forward, "forward"}, {s.backward, st.Backward, "backward"},
+		{s.chipUpReq, st.ChipUpReq, "chipUpReq"}, {s.chipUpResp, st.ChipUpResp, "chipUpResp"},
+		{s.chipDownReq, st.ChipDownReq, "chipDownReq"}, {s.chipDownResp, st.ChipDownResp, "chipDownResp"},
+	} {
+		if err := restoreLinks(l.dst, l.src, l.name); err != nil {
+			return err
+		}
+	}
+	s.seq = st.Seq
+	s.Stats = st.Stats
+	s.Perf = st.Perf
+	s.events = s.events[:0]
+	for i := range st.Events {
+		es := &st.Events[i]
+		e := event{
+			cycle: es.Cycle, seq: es.Seq, kind: evKind(es.Kind), core: es.Core,
+			off: es.Off, addr: es.Addr, val: es.Val,
+			width: Width(es.Width), signed: es.Signed,
+		}
+		if es.Client >= 0 {
+			if int(es.Client) >= len(clients) {
+				return fmt.Errorf("mem: state event %d references client %d of %d", i, es.Client, len(clients))
+			}
+			cl := clients[es.Client]
+			switch e.kind {
+			case evLocalLoad, evSharedRead, evLoadDone:
+				lc, ok := cl.(LoadClient)
+				if !ok {
+					return fmt.Errorf("mem: state event %d needs a LoadClient, got %T", i, cl)
+				}
+				e.lc = lc
+			default:
+				dc, ok := cl.(DoneClient)
+				if !ok {
+					return fmt.Errorf("mem: state event %d needs a DoneClient, got %T", i, cl)
+				}
+				e.dc = dc
+			}
+		}
+		s.events = append(s.events, e)
+	}
+	return nil
+}
+
+// Reset returns the system to its post-New state, keeping allocations,
+// for warm-machine reuse across runs.
+func (s *System) Reset() {
+	clear(s.code)
+	for i := range s.local {
+		clear(s.local[i])
+	}
+	for i := range s.shared {
+		clear(s.shared[i])
+	}
+	for _, l := range [][]uint64{
+		s.coreUp, s.coreDown, s.bankPort, s.bankLocal, s.localPort,
+		s.r1UpReq, s.r1UpResp, s.r1DownReq, s.r1DownResp,
+		s.r2UpReq, s.r2UpResp, s.r2DownReq, s.r2DownResp,
+		s.forward, s.backward,
+		s.chipUpReq, s.chipUpResp, s.chipDownReq, s.chipDownResp,
+	} {
+		clear(l)
+	}
+	clear(s.events) // release clients
+	s.events = s.events[:0]
+	s.seq = 0
+	s.Stats = Stats{}
+	s.Perf = perf.MemCounters{}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+)
+
+// LoadFile builds a program from a .c, .s or .img file; the format is
+// chosen by extension. cores and bank parameterize the MiniC runtime
+// (.c only) and should match the machine the program will run on.
+func LoadFile(path string, cores int, bank uint32) (*asm.Program, error) {
+	switch {
+	case strings.HasSuffix(path, ".img"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return asm.ReadImage(f)
+	case strings.HasSuffix(path, ".c"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		opt := cc.DefaultOptions()
+		opt.Cores = cores
+		opt.SharedBankBytes = bank
+		asmText, err := cc.BuildProgram(string(src), opt)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(asmText, asm.Options{})
+	default: // .s
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src), asm.Options{})
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/lbp"
+)
+
+// poolKey identifies the sessions that are interchangeable after a
+// Reset: same machine configuration and same observer/knob settings.
+// The resolved lbp.Config is comparable (it is all scalars), so the key
+// can be a map key directly.
+type poolKey struct {
+	cfg     lbp.Config
+	profile bool
+	digest  bool
+	ring    int
+	workers int
+	noffwd  bool
+	max     uint64
+}
+
+func specKey(spec *Spec, cfg lbp.Config) poolKey {
+	return poolKey{
+		cfg:     cfg,
+		profile: spec.Profile,
+		digest:  spec.Trace.Digest,
+		ring:    spec.Trace.Ring,
+		workers: spec.SimWorkers,
+		noffwd:  spec.NoFastForward,
+		max:     spec.MaxCycles,
+	}
+}
+
+// Pool reuses warm machines across runs: Get returns a reset session
+// for the Spec (building a fresh one only when no compatible machine is
+// free), Put returns a finished session for reuse. Sweeps that build
+// the same machine geometry hundreds of times skip the per-run
+// allocation of banks, link queues and reorder buffers.
+//
+// A Pool is safe for concurrent use. Sessions with devices bypass the
+// pool entirely (they cannot be reset).
+type Pool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Session
+}
+
+// Get returns a session for the Spec, reusing a pooled machine when one
+// with an identical configuration is free.
+func (p *Pool) Get(spec Spec) (*Session, error) {
+	if len(spec.Devices) > 0 {
+		return New(spec)
+	}
+	key := specKey(&spec, spec.machineConfig())
+	p.mu.Lock()
+	var s *Session
+	if list := p.free[key]; len(list) > 0 {
+		s = list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[key] = list[:len(list)-1]
+	}
+	p.mu.Unlock()
+	if s == nil {
+		return New(spec)
+	}
+	if err := s.Reset(spec.Program); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put returns a finished session to the pool. Sessions that cannot be
+// reset (devices, resumed from a checkpoint) are silently dropped.
+func (p *Pool) Put(s *Session) {
+	if s == nil || len(s.spec.Devices) > 0 || s.spec.Program == nil {
+		return
+	}
+	key := specKey(&s.spec, s.cfg)
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[poolKey][]*Session)
+	}
+	p.free[key] = append(p.free[key], s)
+	p.mu.Unlock()
+}

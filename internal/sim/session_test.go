@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/perf"
+	"repro/internal/workloads"
+)
+
+// outcome is everything a split run must reproduce bit-exactly.
+// FastForwarded is excluded: it is a host-side diagnostic, and the
+// resume leg legitimately single-steps the quiescent cycle it wakes on.
+type outcome struct {
+	halt   string
+	stats  lbp.Stats
+	mem    interface{}
+	digest uint64
+	events uint64
+	perf   *perf.Snapshot
+}
+
+func runToEnd(t *testing.T, sess *Session) (*lbp.Result, outcome) {
+	t.Helper()
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := res.Stats
+	st.FastForwarded = 0
+	return res, outcome{
+		halt:   res.Halt,
+		stats:  st,
+		mem:    res.Mem,
+		digest: sess.Recorder().Digest(),
+		events: sess.Recorder().Count(),
+		perf:   sess.PerfSnapshot(),
+	}
+}
+
+// knobs is one host-side configuration of a run leg.
+type knobs struct {
+	workers int
+	ffwd    bool
+}
+
+// TestCheckpointResumeEquivalenceMatrix is the tentpole acceptance
+// test: Run(N) must equal Run(k) + Checkpoint + Resume + run-to-end —
+// same halt, stats, memory stats, digest, event count and perf
+// snapshot — for every combination of SimWorkers × fast-forward on
+// both sides of the split. Runs under -race in tier-1, so it also
+// asserts the sharded legs touch no shared mutable state.
+func TestCheckpointResumeEquivalenceMatrix(t *testing.T) {
+	legs := []knobs{{1, true}, {1, false}, {2, true}, {2, false}}
+	for _, h := range []int{4, 16, 64} {
+		h := h
+		if h == 64 && testing.Short() {
+			continue
+		}
+		prog, err := workloads.BuildMatmul(workloads.Base, h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		cfg := workloads.MatmulConfig(h)
+		spec := Spec{
+			Program:   prog,
+			Config:    &cfg,
+			MaxCycles: workloads.MaxMatmulCycles(h),
+			Trace:     TraceSpec{Digest: true},
+			Profile:   true,
+		}
+		base, err := New(spec)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		baseRes, want := runToEnd(t, base)
+		k := baseRes.Stats.Cycles / 2
+
+		// The full 4x4 leg matrix at the small sizes; rotated pairs at
+		// h=64 to keep the -race run affordable.
+		for i, first := range legs {
+			for j, second := range legs {
+				if h == 64 && j != (i+1)%len(legs) {
+					continue
+				}
+				sp := spec
+				sp.SimWorkers = first.workers
+				sp.NoFastForward = !first.ffwd
+				sess, err := New(sp)
+				if err != nil {
+					t.Fatalf("h=%d %v|%v: %v", h, first, second, err)
+				}
+				res, err := sess.Advance(k)
+				if err != nil {
+					t.Fatalf("h=%d %v|%v: advance: %v", h, first, second, err)
+				}
+				if res != nil {
+					t.Fatalf("h=%d %v|%v: finished before the split point", h, first, second)
+				}
+				cp, err := sess.Checkpoint()
+				if err != nil {
+					t.Fatalf("h=%d %v|%v: checkpoint: %v", h, first, second, err)
+				}
+				resumed, err := Resume(cp, ResumeSpec{
+					MaxCycles:     workloads.MaxMatmulCycles(h),
+					SimWorkers:    second.workers,
+					NoFastForward: !second.ffwd,
+				})
+				if err != nil {
+					t.Fatalf("h=%d %v|%v: resume: %v", h, first, second, err)
+				}
+				if resumed.Machine().Cycle() != k {
+					t.Fatalf("h=%d %v|%v: resumed at cycle %d, want %d",
+						h, first, second, resumed.Machine().Cycle(), k)
+				}
+				_, got := runToEnd(t, resumed)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("h=%d %v|%v: split run diverged:\n got %+v\nwant %+v",
+						h, first, second, got, want)
+				}
+				if err := workloads.VerifyMatmul(resumed.Machine(), prog, workloads.Base, h); err != nil {
+					t.Errorf("h=%d %v|%v: %v", h, first, second, err)
+				}
+			}
+		}
+	}
+}
+
+// sensorDevices builds the Figure 16 device set for prog; called twice
+// per test so the resumed machine gets fresh, identically configured
+// devices (their mutable state comes from the checkpoint).
+func sensorDevices(prog *asm.Program) ([]lbp.Device, *lbp.Actuator) {
+	var devices []lbp.Device
+	for i := 0; i < 4; i++ {
+		devices = append(devices, &lbp.Sensor{
+			ValueAddr: prog.Symbols["sval"] + uint32(4*i),
+			FlagAddr:  prog.Symbols["sflag"] + uint32(4*i),
+			Events: []lbp.SensorEvent{
+				{Cycle: 1000 + uint64(101*i), Value: uint32(10 * (i + 1))},
+				{Cycle: 4000 + uint64(57*i), Value: uint32(20 * (i + 1))},
+			},
+		})
+	}
+	act := &lbp.Actuator{
+		ValueAddr: prog.Symbols["factuator"],
+		SeqAddr:   prog.Symbols["aseq"],
+	}
+	return append(devices, act), act
+}
+
+// TestCheckpointResumeDevices splits a device-driven run in the middle
+// of the sensor schedule: the resumed machine reattaches fresh devices,
+// restores their cursors from the checkpoint, and must reproduce the
+// uninterrupted run's actuator writes and cycle count exactly.
+func TestCheckpointResumeDevices(t *testing.T) {
+	asmText, err := cc.BuildProgram(workloads.SensorFusionSource(2), cc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Session, *lbp.Actuator) {
+		devices, act := sensorDevices(prog)
+		sess, err := New(Spec{
+			Program:   prog,
+			Cores:     1,
+			Devices:   devices,
+			MaxCycles: 50_000_000,
+			Trace:     TraceSpec{Digest: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess, act
+	}
+	base, baseAct := run()
+	baseRes, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseAct.Writes) == 0 {
+		t.Fatal("sensor fusion produced no actuator writes")
+	}
+
+	// Split between the two sensor rounds: some device state (cursors,
+	// observed writes) is already non-initial at the checkpoint.
+	const k = 2500
+	sess, _ := run()
+	if res, err := sess.Advance(k); err != nil || res != nil {
+		t.Fatalf("advance: res=%v err=%v", res, err)
+	}
+	cp, err := sess.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, act := sensorDevices(prog)
+	resumed, err := Resume(cp, ResumeSpec{Devices: devices, MaxCycles: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != baseRes.Stats.Cycles {
+		t.Errorf("cycles = %d, want %d", res.Stats.Cycles, baseRes.Stats.Cycles)
+	}
+	if !reflect.DeepEqual(act.Writes, baseAct.Writes) {
+		t.Errorf("actuator writes diverged:\n got %+v\nwant %+v", act.Writes, baseAct.Writes)
+	}
+	if resumed.Recorder().Digest() != base.Recorder().Digest() ||
+		resumed.Recorder().Count() != base.Recorder().Count() {
+		t.Errorf("trace diverged: %#x/%d, want %#x/%d",
+			resumed.Recorder().Digest(), resumed.Recorder().Count(),
+			base.Recorder().Digest(), base.Recorder().Count())
+	}
+	// A session with devices must refuse to be reset for pooling.
+	if err := resumed.Reset(prog); err == nil {
+		t.Error("Reset must refuse a session with devices")
+	}
+}
+
+// TestRunWithCheckpointsResume is E13 end to end at the library level:
+// periodic checkpointing does not disturb the run, and resuming the
+// last saved checkpoint finishes with the single-run digest.
+func TestRunWithCheckpointsResume(t *testing.T) {
+	prog, err := workloads.BuildMatmul(workloads.Base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.MatmulConfig(16)
+	spec := Spec{
+		Program:   prog,
+		Config:    &cfg,
+		MaxCycles: workloads.MaxMatmulCycles(16),
+		Trace:     TraceSpec{Digest: true},
+	}
+	base, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := runToEnd(t, base)
+
+	sess, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	var saves int
+	res, err := sess.RunWithCheckpoints(1000, func(cp []byte) error {
+		last = cp
+		saves++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves == 0 {
+		t.Fatal("no checkpoints were saved (run shorter than the interval?)")
+	}
+	if sess.Recorder().Digest() != want.digest || res.Halt != want.halt {
+		t.Errorf("checkpointing run diverged: digest %#x, want %#x", sess.Recorder().Digest(), want.digest)
+	}
+
+	resumed, err := Resume(last, ResumeSpec{MaxCycles: workloads.MaxMatmulCycles(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got := runToEnd(t, resumed)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resume of last checkpoint diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPoolReuse asserts warm-machine reuse is invisible: a pooled,
+// reset machine reproduces a fresh machine's digest, and the pool
+// actually hands the same session back.
+func TestPoolReuse(t *testing.T) {
+	prog, err := workloads.BuildMatmul(workloads.Base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.MatmulConfig(4)
+	spec := Spec{
+		Program:   prog,
+		Config:    &cfg,
+		MaxCycles: workloads.MaxMatmulCycles(4),
+		Trace:     TraceSpec{Digest: true},
+	}
+	var p Pool
+	first, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := runToEnd(t, first)
+	p.Put(first)
+
+	second, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("pool built a fresh machine instead of reusing the warm one")
+	}
+	_, got := runToEnd(t, second)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("warm run diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A different configuration must never receive the pooled machine.
+	other := spec
+	other.Profile = true
+	p.Put(second)
+	third, err := p.Get(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == second {
+		t.Error("pool reused a machine across different observer settings")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := New(Spec{}); err == nil {
+		t.Error("New must require a program")
+	}
+	prog, err := workloads.BuildMatmul(workloads.Base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(Spec{Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.MaxCycles(); got != defaultMaxCycles {
+		t.Errorf("default budget = %d, want %d", got, defaultMaxCycles)
+	}
+	if _, err := sess.RunWithCheckpoints(0, func([]byte) error { return nil }); err == nil {
+		t.Error("RunWithCheckpoints must reject a zero interval")
+	}
+}

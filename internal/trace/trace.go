@@ -160,3 +160,38 @@ func (r *Recorder) Last(n int) []Event {
 func Same(a, b *Recorder) bool {
 	return a.Digest() == b.Digest() && a.Count() == b.Count()
 }
+
+// RecorderState is the serializable state of a Recorder. Restoring it
+// with NewFromState yields a recorder whose digest, count and ring
+// contents continue exactly where the original left off.
+type RecorderState struct {
+	Digest uint64
+	Count  uint64
+	Ring   []Event
+	Next   int
+	Full   bool
+}
+
+// State snapshots the recorder.
+func (r *Recorder) State() RecorderState {
+	return RecorderState{
+		Digest: r.digest,
+		Count:  r.count,
+		Ring:   append([]Event(nil), r.ring...),
+		Next:   r.next,
+		Full:   r.full,
+	}
+}
+
+// NewFromState rebuilds a recorder from a snapshot.
+func NewFromState(st RecorderState) *Recorder {
+	r := &Recorder{digest: st.Digest, count: st.Count, next: st.Next, full: st.Full}
+	if len(st.Ring) > 0 {
+		r.ring = append([]Event(nil), st.Ring...)
+	}
+	if r.next < 0 || r.next >= len(r.ring) {
+		// A corrupt snapshot must not make Add index out of range.
+		r.next = 0
+	}
+	return r
+}

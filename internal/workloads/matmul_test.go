@@ -13,7 +13,7 @@ func runVariant(t *testing.T, v MatmulVariant, h int) *lbp.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMatmulMachine(h)
+	m := lbp.New(MatmulConfig(h))
 	if err := m.LoadProgram(prog); err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestAllHartsBusy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMatmulMachine(16)
+	m := lbp.New(MatmulConfig(16))
 	if err := m.LoadProgram(prog); err != nil {
 		t.Fatal(err)
 	}

@@ -30,12 +30,13 @@ func BuildMatmul(v MatmulVariant, h int) (*asm.Program, error) {
 	return prog, nil
 }
 
-// NewMatmulMachine builds the matching LBP machine (h/4 cores, with the
-// experiment's shared bank size).
-func NewMatmulMachine(h int) *lbp.Machine {
+// MatmulConfig is the machine configuration matching BuildMatmul:
+// h/4 cores with the experiment's shared bank size. Machines are built
+// from it through the internal/sim session layer.
+func MatmulConfig(h int) lbp.Config {
 	cfg := lbp.DefaultConfig(h / 4)
 	cfg.Mem.SharedBytes = SharedBankBytes(h)
-	return lbp.New(cfg)
+	return cfg
 }
 
 // MaxMatmulCycles bounds a matmul run generously.

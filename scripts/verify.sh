@@ -1,0 +1,32 @@
+#!/bin/sh
+# verify.sh — the tier-1 verification gate (see ROADMAP.md).
+#
+#   scripts/verify.sh            build + vet + gofmt + tests + race subset
+#   scripts/verify.sh -bench N   ...then regenerate figure N and benchdiff
+#                                it against the recorded BENCH_figN.json
+#                                (fails on any simulated-result change).
+set -eu
+cd "$(dirname "$0")/.."
+
+fig=""
+if [ "${1:-}" = "-bench" ]; then
+    fig="${2:?usage: scripts/verify.sh [-bench N]}"
+fi
+
+go build ./...
+go vet ./...
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+go test ./...
+go test -race ./internal/runner ./internal/figures ./internal/sim ./cmd/lbp-bench
+
+if [ -n "$fig" ]; then
+    go run ./cmd/lbp-bench -fig "$fig" -outdir out/
+    go run ./cmd/benchdiff "BENCH_fig$fig.json" "out/BENCH_fig$fig.json"
+fi
+
+echo "verify: OK"
