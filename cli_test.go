@@ -7,11 +7,15 @@ package repro_test
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one cmd into dir and returns the binary path.
@@ -419,6 +423,160 @@ func TestCLICheckpointResume(t *testing.T) {
 	}
 	if !strings.Contains(string(out2), "no trace recorder") {
 		t.Errorf("error message: %s", out2)
+	}
+}
+
+// TestCLIResumeChromeNeedsRing: resuming a digest-only checkpoint with
+// -chrome used to write an empty/partial trace silently (the recorder
+// exists, but retains no events); it must fail like -digest/-tail on an
+// untraced checkpoint, hinting at -tail. With a ring retained, -chrome
+// still works after resume.
+func TestCLIResumeChromeNeedsRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+
+	// Digest-only original: recorder present, ring empty.
+	ckpt := filepath.Join(dir, "digestonly.ckpt")
+	runTool(t, lbprun, "-cores", "2", "-digest", "-checkpoint", ckpt, "-every", "500", "testdata/vecsum.c")
+	chrome := filepath.Join(dir, "trace.json")
+	out, err := exec.Command(lbprun, "-resume", ckpt, "-chrome", chrome).CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Errorf("-resume -chrome on ringless checkpoint: err = %v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no trace ring") || !strings.Contains(string(out), "-tail") {
+		t.Errorf("error message must hint at -tail: %s", out)
+	}
+	if _, err := os.Stat(chrome); err == nil {
+		t.Error("a partial chrome trace was written despite the error")
+	}
+
+	// With a retained ring the resumed -chrome export works.
+	ckpt2 := filepath.Join(dir, "ringed.ckpt")
+	runTool(t, lbprun, "-cores", "2", "-tail", "64", "-checkpoint", ckpt2, "-every", "500", "testdata/vecsum.c")
+	resumed := runTool(t, lbprun, "-resume", ckpt2, "-chrome", chrome)
+	if !strings.Contains(resumed, "trace written to") {
+		t.Fatalf("resumed -chrome run: %s", resumed)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Errorf("resumed chrome trace invalid (err=%v, %d events)", err, len(doc.TraceEvents))
+	}
+}
+
+// TestCLIBenchdiffToleranceValidation: -tolerance outside [0, 1) is a
+// usage error — negative fails every comparison, >= 1 silently disables
+// the throughput guard.
+func TestCLIBenchdiffToleranceValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	benchdiff := buildTool(t, dir, "benchdiff")
+	for _, bad := range []string{"-0.1", "1", "1.5"} {
+		out, err := exec.Command(benchdiff, "-tolerance", bad, "BENCH_fig19.json", "BENCH_fig19.json").CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("-tolerance %s: err = %v, want exit code 2\n%s", bad, err, out)
+		}
+		if !strings.Contains(string(out), "must be in [0, 1)") {
+			t.Errorf("-tolerance %s error message: %s", bad, out)
+		}
+	}
+	// A record always agrees with itself under a valid tolerance.
+	out := runTool(t, benchdiff, "-tolerance", "0.5", "BENCH_fig19.json", "BENCH_fig19.json")
+	if !strings.Contains(out, "OK") {
+		t.Errorf("self-compare: %s", out)
+	}
+}
+
+// TestCLIServeSmoke drives the lbp-serve daemon over real HTTP: start
+// on an ephemeral port, check /healthz, run one job, verify its digest
+// matches a local lbp-run of the same program, and shut down cleanly
+// on SIGTERM.
+func TestCLIServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbpserve := buildTool(t, dir, "lbp-serve")
+	lbprun := buildTool(t, dir, "lbp-run")
+
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(lbpserve, "-addr", "127.0.0.1:0", "-addrfile", addrFile)
+	var logBuf strings.Builder
+	cmd.Stdout = &logBuf
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	var addr string
+	for i := 0; i < 100; i++ {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its address; log:\n%s", logBuf.String())
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	src, err := os.ReadFile("testdata/vecsum.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"source": string(src), "cores": 2, "digest": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post("http://"+addr+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr struct {
+		Status string `json:"status"`
+		Halt   string `json:"halt"`
+		Digest uint64 `json:"digest"`
+		Events uint64 `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || jr.Status != "ok" || jr.Halt != "exit" {
+		t.Fatalf("job: HTTP %d decode err %v result %+v", resp.StatusCode, err, jr)
+	}
+	want := digestLine(t, runTool(t, lbprun, "-cores", "2", "-digest", "testdata/vecsum.c"))
+	if got := fmt.Sprintf("digest:   %#x over %d events", jr.Digest, jr.Events); got != want {
+		t.Errorf("served digest %q differs from local run %q", got, want)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("SIGTERM shutdown: %v; log:\n%s", err, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "drained") {
+		t.Errorf("server did not drain cleanly:\n%s", logBuf.String())
 	}
 }
 

@@ -52,6 +52,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] old.json new.json")
 		os.Exit(2)
 	}
+	// A negative tolerance fails every comparison and one >= 1 disables
+	// the throughput guard entirely; both are usage errors.
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -tolerance %g must be in [0, 1)\n", *tolerance)
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] old.json new.json")
+		os.Exit(2)
+	}
 	oldB, err := readBench(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)

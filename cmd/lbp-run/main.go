@@ -94,6 +94,11 @@ func main() {
 		if (*digest || *tail > 0 || *chrome != "") && sess.Recorder() == nil {
 			fatal(fmt.Errorf("checkpoint %s has no trace recorder; rerun the original with -digest or -tail", *resume))
 		}
+		// A digest-only recorder folds events but retains none: -chrome
+		// would silently write an empty or truncated timeline.
+		if *chrome != "" && sess.Recorder().RingSize() == 0 {
+			fatal(fmt.Errorf("checkpoint %s retained no trace ring; rerun the original with -tail N to keep events for -chrome", *resume))
+		}
 		if *stats && sess.PerfSnapshot() == nil {
 			fatal(fmt.Errorf("checkpoint %s was not profiled; rerun the original with -stats", *resume))
 		}

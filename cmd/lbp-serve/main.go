@@ -1,0 +1,129 @@
+// lbp-serve is the batching simulation service: a long-running
+// HTTP/JSON daemon that accepts simulation jobs and runs them on warm
+// machines from a shared sim.Pool through a bounded worker pool.
+//
+// Usage:
+//
+//	lbp-serve [-addr HOST:PORT] [-workers N] [-queue N] [-deadline D]
+//	          [-maxcycles N] [-slice N] [-ckptdir DIR] [-drain D]
+//	          [-pool-per-key N] [-pool-total N] [-addrfile FILE]
+//
+// Endpoints:
+//
+//	POST /jobs     run one simulation job (JSON in, JSON out)
+//	GET  /healthz  liveness ("ok", or 503 while draining)
+//	GET  /metrics  Prometheus text format counters
+//
+// A job carries MiniC or assembly source (or a serialized image),
+// machine geometry and observer options; the response embeds the
+// deterministic digest and perf snapshot, so any client can verify the
+// result bit-for-bit against a local lbp-run of the same program.
+//
+// Admission is bounded: when the queue is full the server answers 429
+// with Retry-After instead of queueing without limit. On SIGINT or
+// SIGTERM the server stops admitting, drains queued and in-flight jobs
+// for up to -drain, then preempts still-running jobs at their next
+// slice boundary and checkpoints them to -ckptdir (resume offline with
+// lbp-run -resume).
+//
+// -addr :0 picks an ephemeral port; -addrfile writes the bound address
+// to a file once listening, for scripts that need to find the port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to `file` once listening")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
+	deadline := flag.Duration("deadline", 60*time.Second, "default and maximum per-job wall-clock run time")
+	maxCycles := flag.Uint64("maxcycles", 1_000_000_000, "largest acceptable per-job cycle budget")
+	slice := flag.Uint64("slice", 1<<20, "cycles per Advance slice between cancellation checks")
+	ckptDir := flag.String("ckptdir", "", "directory for checkpoints of jobs preempted by shutdown")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace before in-flight jobs are preempted")
+	poolPerKey := flag.Int("pool-per-key", 0, "warm machines kept per configuration (0 = default)")
+	poolTotal := flag.Int("pool-total", 0, "warm machines kept in total (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: lbp-serve [flags] (it takes no arguments)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *queue < 1 {
+		fmt.Fprintf(os.Stderr, "lbp-serve: -queue %d must be positive\n", *queue)
+		os.Exit(2)
+	}
+	if *slice == 0 {
+		fmt.Fprintln(os.Stderr, "lbp-serve: -slice must be positive")
+		os.Exit(2)
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxCyclesCap:  *maxCycles,
+		Deadline:      *deadline,
+		Slice:         *slice,
+		CheckpointDir: *ckptDir,
+		PoolPerKey:    *poolPerKey,
+		PoolTotal:     *poolTotal,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("lbp-serve: listening on http://%s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("lbp-serve: %s: draining (grace %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lbp-serve:", err)
+		}
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lbp-serve:", err)
+		}
+		fmt.Println("lbp-serve: drained, bye")
+	case err := <-errc:
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbp-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/lbp"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// JobRequest is the body of POST /jobs: one simulation to run. Exactly
+// one of Source or Image carries the program; everything else is
+// optional and zero-defaults like sim.Spec.
+type JobRequest struct {
+	// Source is MiniC ("c", the default) or LBP assembly ("s") text.
+	Source string `json:"source,omitempty"`
+	Lang   string `json:"lang,omitempty"`
+
+	// Image is a serialized program image (lbp-asm output), base64 in
+	// JSON. Alternative to Source.
+	Image []byte `json:"image,omitempty"`
+
+	Cores     int    `json:"cores,omitempty"`     // 0 = 4
+	BankBytes uint32 `json:"bankBytes,omitempty"` // 0 = default; else a power of two
+	MaxCycles uint64 `json:"maxCycles,omitempty"` // 0 = server default; capped by the server
+
+	Digest  bool `json:"digest,omitempty"`  // fold the event trace into a digest
+	Ring    int  `json:"ring,omitempty"`    // retain the last Ring events (returned as Tail)
+	Profile bool `json:"profile,omitempty"` // return the deterministic perf snapshot
+
+	// DeadlineMs bounds the job's host wall-clock run time; 0 uses the
+	// server default. The simulated-cycle budget is MaxCycles.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// validate rejects malformed requests before they consume a queue slot.
+func (r *JobRequest) validate() error {
+	hasSource, hasImage := r.Source != "", len(r.Image) > 0
+	if hasSource == hasImage {
+		return fmt.Errorf("exactly one of source and image is required")
+	}
+	switch r.Lang {
+	case "", "c", "s":
+	default:
+		return fmt.Errorf("lang %q must be \"c\" or \"s\"", r.Lang)
+	}
+	if hasImage && r.Lang != "" {
+		return fmt.Errorf("lang applies to source, not image")
+	}
+	if r.Cores < 0 {
+		return fmt.Errorf("cores %d must not be negative", r.Cores)
+	}
+	if b := r.BankBytes; b != 0 && (uint64(b) > math.MaxUint32 || b&(b-1) != 0) {
+		return fmt.Errorf("bankBytes %d must be a power of two that fits in 32 bits", b)
+	}
+	if r.Ring < 0 {
+		return fmt.Errorf("ring %d must not be negative", r.Ring)
+	}
+	if r.DeadlineMs < 0 {
+		return fmt.Errorf("deadlineMs %d must not be negative", r.DeadlineMs)
+	}
+	return nil
+}
+
+// compile builds the program, mirroring sim.LoadFile's handling of the
+// three input forms.
+func (r *JobRequest) compile() (*asm.Program, error) {
+	if len(r.Image) > 0 {
+		return asm.ReadImage(bytes.NewReader(r.Image))
+	}
+	if r.Lang == "s" {
+		return asm.Assemble(r.Source, asm.Options{})
+	}
+	opt := cc.DefaultOptions()
+	if r.Cores > 0 {
+		opt.Cores = r.Cores
+	}
+	if r.BankBytes != 0 {
+		opt.SharedBankBytes = r.BankBytes
+	}
+	asmText, err := cc.BuildProgram(r.Source, opt)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(asmText, asm.Options{})
+}
+
+// Job status values.
+const (
+	StatusOK        = "ok"        // run completed (Halt says how)
+	StatusError     = "error"     // machine fault or cycle budget exceeded
+	StatusDeadline  = "deadline"  // wall-clock deadline elapsed mid-run
+	StatusCanceled  = "canceled"  // client went away mid-run
+	StatusPreempted = "preempted" // server shut down mid-run; see Checkpoint
+	StatusRejected  = "rejected"  // never ran (draining before start)
+)
+
+// JobResult is the response body for one job. Cycles, Retired, IPC,
+// Digest, Events, Mem and Perf are fully deterministic: any client
+// running the same request anywhere — including a local sim.Session —
+// sees identical values bit for bit. QueueMs, RunMs and PoolWarm are
+// host-side diagnostics and vary run to run.
+type JobResult struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Halt    string  `json:"halt,omitempty"`
+	Cycles  uint64  `json:"cycles,omitempty"`
+	Retired uint64  `json:"retired,omitempty"`
+	IPC     float64 `json:"ipc,omitempty"`
+
+	Digest uint64   `json:"digest,omitempty"`
+	Events uint64   `json:"events,omitempty"`
+	Tail   []string `json:"tail,omitempty"` // last Ring events, oldest first
+
+	Mem  *mem.Stats     `json:"mem,omitempty"`
+	Perf *perf.Snapshot `json:"perf,omitempty"`
+
+	// Checkpoint is the server-side path of the serialized machine
+	// state of a preempted job; lbp-run -resume picks it back up.
+	Checkpoint string `json:"checkpoint,omitempty"`
+
+	PoolWarm bool    `json:"poolWarm"` // served by a warm pooled machine
+	QueueMs  float64 `json:"queueMs"`  // admission-to-start wait
+	RunMs    float64 `json:"runMs"`    // wall time inside the simulator
+}
+
+// fill copies the deterministic outcome of a finished run into the
+// result.
+func (jr *JobResult) fill(sess *sim.Session, res *lbp.Result, ring int) {
+	jr.Halt = res.Halt
+	jr.Cycles = res.Stats.Cycles
+	jr.Retired = res.Stats.Retired
+	jr.IPC = res.Stats.IPC()
+	memStats := res.Mem
+	jr.Mem = &memStats
+	if rec := sess.Recorder(); rec != nil {
+		jr.Digest = rec.Digest()
+		jr.Events = rec.Count()
+		for _, e := range rec.Last(ring) {
+			jr.Tail = append(jr.Tail, e.String())
+		}
+	}
+	jr.Perf = sess.PerfSnapshot()
+}

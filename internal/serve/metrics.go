@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// metrics holds the server counters exported at /metrics. All fields
+// are atomics: the hot paths (admission, workers) touch them without a
+// lock, and the exposition reads a consistent-enough snapshot.
+type metrics struct {
+	accepted  atomic.Uint64 // jobs admitted to the queue
+	rejected  atomic.Uint64 // jobs turned away with 429 (queue full)
+	completed atomic.Uint64 // runs that finished (StatusOK)
+	failed    atomic.Uint64 // fault/budget/deadline/cancel outcomes
+	preempted atomic.Uint64 // jobs checkpointed by shutdown
+
+	queueDepth atomic.Int64 // jobs admitted but not yet started
+	inflight   atomic.Int64 // jobs currently running
+
+	simCycles atomic.Uint64 // simulated cycles across all runs (partial included)
+	runNanos  atomic.Uint64 // host wall nanoseconds inside the simulator
+}
+
+// writePrometheus emits the Prometheus text exposition format
+// (hand-rolled: the repo takes no dependencies).
+func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("lbp_serve_jobs_accepted_total", "Jobs admitted to the run queue.", m.accepted.Load())
+	counter("lbp_serve_jobs_rejected_total", "Jobs rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("lbp_serve_jobs_completed_total", "Jobs whose simulation ran to completion.", m.completed.Load())
+	counter("lbp_serve_jobs_failed_total", "Jobs that ended in a fault, budget, deadline or cancellation.", m.failed.Load())
+	counter("lbp_serve_jobs_preempted_total", "Jobs checkpointed to disk by a shutdown.", m.preempted.Load())
+	gauge("lbp_serve_queue_depth", "Jobs admitted but not yet running.", float64(m.queueDepth.Load()))
+	gauge("lbp_serve_jobs_inflight", "Jobs currently running.", float64(m.inflight.Load()))
+	counter("lbp_serve_pool_hits_total", "Warm-machine pool hits.", pool.Hits)
+	counter("lbp_serve_pool_misses_total", "Warm-machine pool misses (fresh builds).", pool.Misses)
+	counter("lbp_serve_pool_evictions_total", "Idle sessions evicted by the pool capacity bounds.", pool.Evictions)
+	gauge("lbp_serve_pool_idle", "Idle warm machines in the pool.", float64(idle))
+	counter("lbp_serve_sim_cycles_total", "Simulated cycles across all jobs.", m.simCycles.Load())
+	cps := 0.0
+	if ns := m.runNanos.Load(); ns > 0 {
+		cps = float64(m.simCycles.Load()) / (float64(ns) / 1e9)
+	}
+	gauge("lbp_serve_sim_cycles_per_second", "Lifetime simulated cycles per host second of run time.", cps)
+}

@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// vecsumSource is the parallel vector-sum MiniC program from testdata,
+// inlined so the tests are self-contained.
+const vecsumSource = `
+#include <det_omp.h>
+#define NUM_HART 8
+#define N 64
+
+int data[N] = {[0 ... 63] = 2};
+int total;
+
+void main() {
+	int t;
+	omp_set_num_threads(NUM_HART);
+	total = 0;
+	#pragma omp parallel for reduction(+:total)
+	for (t = 0; t < NUM_HART; t++) {
+		int i;
+		int *p;
+		p = data + t * (N / NUM_HART);
+		for (i = 0; i < N / NUM_HART; i++) {
+			total += *p;
+			p = p + 1;
+		}
+	}
+}
+`
+
+// spinSource busy-loops long enough for a shutdown to preempt it
+// mid-run (a few million simulated cycles), then exits cleanly.
+const spinSource = `main:
+	li t1, 2000000
+loop:
+	addi t1, t1, -1
+	bne t1, zero, loop
+	li ra, 0
+	li t0, -1
+	p_ret
+`
+
+// postJob submits one job and decodes the response, whatever the code.
+func postJob(t *testing.T, url string, req JobRequest) (int, *JobResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, &jr
+}
+
+// directRun executes the request the way a local client would — through
+// sim.Session, bypassing the service entirely — and returns the
+// deterministic outcome the service must reproduce bit for bit.
+func directRun(t *testing.T, req JobRequest, maxCycles uint64) *JobResult {
+	t.Helper()
+	prog, err := req.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sim.New(sim.Spec{
+		Program:         prog,
+		Cores:           req.Cores,
+		SharedBankBytes: req.BankBytes,
+		MaxCycles:       maxCycles,
+		Trace:           sim.TraceSpec{Digest: req.Digest, Ring: req.Ring},
+		Profile:         req.Profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResult
+	jr.fill(sess, res, req.Ring)
+	return &jr
+}
+
+// TestDeterminismUnderLoad is the acceptance test: the same job
+// submitted by many concurrent clients must return, for every one of
+// them, exactly the cycles, retired count and trace digest of a direct
+// sim.Session run. Runs under -race in tier-1.
+func TestDeterminismUnderLoad(t *testing.T) {
+	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true, Profile: true}
+	want := directRun(t, req, 100_000_000)
+
+	srv := New(Config{Workers: 4, QueueDepth: 64, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 12
+	results := make([]*JobResult, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], results[i] = postJob(t, ts.URL, req)
+		}(i)
+	}
+	wg.Wait()
+	for i, jr := range results {
+		if codes[i] != http.StatusOK || jr.Status != StatusOK {
+			t.Errorf("client %d: HTTP %d status %q (%s)", i, codes[i], jr.Status, jr.Error)
+			continue
+		}
+		if jr.Halt != want.Halt || jr.Cycles != want.Cycles || jr.Retired != want.Retired ||
+			jr.Digest != want.Digest || jr.Events != want.Events {
+			t.Errorf("client %d diverged: halt=%q cycles=%d retired=%d digest=%#x events=%d,"+
+				" want halt=%q cycles=%d retired=%d digest=%#x events=%d",
+				i, jr.Halt, jr.Cycles, jr.Retired, jr.Digest, jr.Events,
+				want.Halt, want.Cycles, want.Retired, want.Digest, want.Events)
+		}
+		if jr.Perf == nil || jr.Perf.HartCycles != want.Perf.HartCycles ||
+			jr.Perf.CommitCycles != want.Perf.CommitCycles {
+			t.Errorf("client %d: perf snapshot diverged: %+v, want %+v", i, jr.Perf, want.Perf)
+		}
+		if jr.Mem == nil || *jr.Mem != *want.Mem {
+			t.Errorf("client %d: memory stats diverged: %+v, want %+v", i, jr.Mem, want.Mem)
+		}
+	}
+	// The pool must have been exercised: 12 jobs over 4 workers cannot
+	// all have built fresh machines... but every reuse was invisible.
+	if st := srv.pool.Stats(); st.Hits == 0 {
+		t.Error("no warm-pool hits under load")
+	}
+}
+
+// TestQueueOverflow: with one worker held at the gate and a single
+// queue slot filled, the next job must be answered 429 with Retry-After
+// — backpressure instead of unbounded queueing.
+func TestQueueOverflow(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	srv := New(Config{
+		Workers: 1, QueueDepth: 1, Slice: 1024,
+		testGate: func() { started <- struct{}{}; <-release },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true}
+	type reply struct {
+		code int
+		jr   *JobResult
+	}
+	replies := make(chan reply, 2)
+	submit := func() {
+		code, jr := postJob(t, ts.URL, req)
+		replies <- reply{code, jr}
+	}
+	go submit() // runs, blocked at the gate
+	<-started
+	go submit() // sits in the queue
+	waitFor(t, "queued job", func() bool { return srv.met.queueDepth.Load() == 1 })
+
+	code, jr := postJob(t, ts.URL, req) // overflow
+	if code != http.StatusTooManyRequests || jr.Status != StatusRejected {
+		t.Errorf("overflow: HTTP %d status %q, want 429 rejected", code, jr.Status)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"source":"x","lang":"s"`)) // also bad JSON
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.code != http.StatusOK || r.jr.Status != StatusOK {
+			t.Errorf("held job %d: HTTP %d status %q (%s)", i, r.code, r.jr.Status, r.jr.Error)
+		}
+	}
+	if got := srv.met.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrain: shutdown refuses new work immediately but lets the
+// in-flight job finish and answer 200.
+func TestShutdownDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv := New(Config{
+		Workers: 1, QueueDepth: 4, Slice: 1024,
+		testGate: func() { started <- struct{}{}; <-release },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true}
+	got := make(chan *JobResult, 1)
+	go func() {
+		_, jr := postJob(t, ts.URL, req)
+		got <- jr
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, "draining", srv.draining)
+
+	if code, jr := postJob(t, ts.URL, req); code != http.StatusServiceUnavailable {
+		t.Errorf("post while draining: HTTP %d status %q, want 503", code, jr.Status)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz while draining: HTTP %d, want 503", resp.StatusCode)
+		}
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	jr := <-got
+	if jr.Status != StatusOK {
+		t.Errorf("drained job: status %q (%s), want ok", jr.Status, jr.Error)
+	}
+}
+
+// TestShutdownPreemptsAndCheckpointResumes: a shutdown whose grace
+// expires preempts the running job at a slice boundary and checkpoints
+// it; resuming that checkpoint finishes with exactly the digest of an
+// uninterrupted run — preemption is invisible to the simulated results.
+func TestShutdownPreemptsAndCheckpointResumes(t *testing.T) {
+	req := JobRequest{Source: spinSource, Lang: "s", Cores: 1, Digest: true, MaxCycles: 50_000_000}
+	want := directRun(t, req, req.MaxCycles)
+
+	dir := t.TempDir()
+	srv := New(Config{Workers: 1, QueueDepth: 4, Slice: 4096, CheckpointDir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	got := make(chan *JobResult, 1)
+	codec := make(chan int, 1)
+	go func() {
+		code, jr := postJob(t, ts.URL, req)
+		codec <- code
+		got <- jr
+	}()
+	waitFor(t, "job running", func() bool { return srv.met.inflight.Load() == 1 })
+	time.Sleep(50 * time.Millisecond) // let some slices elapse
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // grace already expired: preempt at the next slice
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	code, jr := <-codec, <-got
+	if code != http.StatusServiceUnavailable || jr.Status != StatusPreempted {
+		t.Fatalf("preempted job: HTTP %d status %q (%s), want 503 preempted", code, jr.Status, jr.Error)
+	}
+	if jr.Checkpoint == "" {
+		t.Fatalf("no checkpoint recorded: %s", jr.Error)
+	}
+	if filepath.Dir(jr.Checkpoint) != dir {
+		t.Errorf("checkpoint %s not under %s", jr.Checkpoint, dir)
+	}
+	if got := srv.met.preempted.Load(); got != 1 {
+		t.Errorf("preempted counter = %d, want 1", got)
+	}
+
+	data, err := os.ReadFile(jr.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim.Resume(data, sim.ResumeSpec{MaxCycles: req.MaxCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halt != want.Halt || res.Stats.Cycles != want.Cycles ||
+		res.Stats.Retired != want.Retired ||
+		resumed.Recorder().Digest() != want.Digest ||
+		resumed.Recorder().Count() != want.Events {
+		t.Errorf("resumed run diverged: halt=%q cycles=%d retired=%d digest=%#x events=%d,"+
+			" want halt=%q cycles=%d retired=%d digest=%#x events=%d",
+			res.Halt, res.Stats.Cycles, res.Stats.Retired,
+			resumed.Recorder().Digest(), resumed.Recorder().Count(),
+			want.Halt, want.Cycles, want.Retired, want.Digest, want.Events)
+	}
+}
+
+// TestJobDeadline: a job whose wall-clock deadline elapses mid-run is
+// stopped cooperatively and answered 504.
+func TestJobDeadline(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, Slice: 4096})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: spinSource, Lang: "s", Cores: 1, MaxCycles: 500_000_000, DeadlineMs: 30}
+	code, jr := postJob(t, ts.URL, req)
+	if code != http.StatusGatewayTimeout || jr.Status != StatusDeadline {
+		t.Errorf("HTTP %d status %q (%s), want 504 deadline", code, jr.Status, jr.Error)
+	}
+}
+
+// TestRequestValidation: malformed requests are refused with 400 before
+// consuming a queue slot.
+func TestRequestValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"no program", JobRequest{}},
+		{"both forms", JobRequest{Source: "main:\n", Image: []byte{1}}},
+		{"bad lang", JobRequest{Source: "x", Lang: "rust"}},
+		{"negative cores", JobRequest{Source: "x", Cores: -1}},
+		{"bank not power of two", JobRequest{Source: "x", BankBytes: 12345}},
+		{"negative ring", JobRequest{Source: "x", Ring: -1}},
+		{"negative deadline", JobRequest{Source: "x", DeadlineMs: -1}},
+		{"budget over cap", JobRequest{Source: "x", MaxCycles: 1 << 62}},
+		{"compile error", JobRequest{Source: "void main() { undefined_fn(); }"}},
+		{"bad assembly", JobRequest{Source: "not an instruction", Lang: "s"}},
+	}
+	for _, tc := range cases {
+		code, jr := postJob(t, ts.URL, tc.req)
+		if code != http.StatusBadRequest || jr.Error == "" {
+			t.Errorf("%s: HTTP %d error %q, want 400 with a message", tc.name, code, jr.Error)
+		}
+	}
+	if got := srv.met.accepted.Load(); got != 0 {
+		t.Errorf("accepted counter = %d after validation failures, want 0", got)
+	}
+}
+
+// TestHealthzAndMetrics: liveness answers ok and the metrics page
+// carries the documented series.
+func TestHealthzAndMetrics(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	if code, jr := postJob(t, ts.URL, JobRequest{Source: vecsumSource, Cores: 2, Digest: true}); code != http.StatusOK {
+		t.Fatalf("job: HTTP %d (%s)", code, jr.Error)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	for _, series := range []string{
+		"lbp_serve_jobs_accepted_total 1",
+		"lbp_serve_jobs_completed_total 1",
+		"lbp_serve_jobs_rejected_total 0",
+		"lbp_serve_jobs_failed_total 0",
+		"lbp_serve_queue_depth 0",
+		"lbp_serve_pool_misses_total 1",
+		"lbp_serve_sim_cycles_total",
+		"lbp_serve_sim_cycles_per_second",
+	} {
+		if !strings.Contains(page, series) {
+			t.Errorf("metrics page missing %q:\n%s", series, page)
+		}
+	}
+}
+
+// readAll drains a response body as a string and closes it.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

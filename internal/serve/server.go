@@ -1,0 +1,431 @@
+// Package serve is the batching simulation service over sim.Pool: a
+// long-running HTTP/JSON front end that runs simulation jobs on warm
+// machines through a bounded worker pool with a bounded admission
+// queue.
+//
+// The serving layer preserves the simulator's determinism guarantee
+// end to end: any client, any concurrency, any queue state — the
+// deterministic fields of a JobResult (cycles, retired, digest, perf)
+// are bit-identical to a local sim.Session run of the same request.
+// Everything host-side (admission, slicing, deadlines, preemption)
+// happens between Advance legs at cycle boundaries, where it cannot
+// perturb simulated state.
+//
+// Backpressure and lifecycle:
+//
+//   - Admission is a bounded queue; overflow answers 429 with
+//     Retry-After instead of queueing unboundedly.
+//   - Each job runs under a simulated-cycle budget and a host
+//     wall-clock deadline, enforced cooperatively between Advance
+//     slices (sim.Session.RunSliced).
+//   - Shutdown stops admission, drains queued and running jobs, and —
+//     once the grace context expires — preempts still-running jobs,
+//     checkpointing their machine state to disk for lbp-run -resume.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a sensible default.
+type Config struct {
+	Workers    int // concurrent simulations (0 = GOMAXPROCS)
+	QueueDepth int // jobs admitted but not yet running (0 = 64)
+
+	DefaultMaxCycles uint64 // budget when a request omits maxCycles (0 = 100M)
+	MaxCyclesCap     uint64 // largest acceptable per-job budget (0 = 1G)
+
+	// Deadline is the default and maximum per-job wall-clock run time;
+	// requests may only shorten it (0 = 60s).
+	Deadline time.Duration
+
+	// Slice is the Advance granularity between cancellation checks, in
+	// simulated cycles (0 = 1M). Smaller reacts faster, larger wastes
+	// less host time on checks; simulated results never depend on it.
+	Slice uint64
+
+	// CheckpointDir receives the serialized machine state of jobs
+	// preempted by shutdown ("" = discard preempted state).
+	CheckpointDir string
+
+	// PoolPerKey/PoolTotal bound the warm-machine pool
+	// (0 = sim.DefaultPoolPerKey / sim.DefaultPoolTotal).
+	PoolPerKey int
+	PoolTotal  int
+
+	MaxBodyBytes int64 // request body cap (0 = 8 MiB)
+
+	// testGate, when set, is called by a worker after dequeuing a job
+	// and before running it; tests use it to hold jobs at a known point.
+	testGate func()
+}
+
+// normalize fills in the defaults.
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultMaxCycles == 0 {
+		c.DefaultMaxCycles = 100_000_000
+	}
+	if c.MaxCyclesCap == 0 {
+		c.MaxCyclesCap = 1_000_000_000
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 60 * time.Second
+	}
+	if c.Slice == 0 {
+		c.Slice = 1 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Sentinel errors returned by the slice check to classify why a run
+// stopped early.
+var (
+	errPreempted = errors.New("preempted by server shutdown")
+	errDeadline  = errors.New("wall-clock deadline elapsed")
+	errCanceled  = errors.New("client canceled the request")
+)
+
+// statusClientClosedRequest is the de-facto code for "client went away"
+// (the client never sees it; it keeps access logs honest).
+const statusClientClosedRequest = 499
+
+// job is one admitted simulation request flowing through the queue.
+type job struct {
+	id       string
+	req      JobRequest
+	spec     sim.Spec
+	deadline time.Duration
+	ctx      context.Context // the client's request context
+	enqueued time.Time
+	done     chan struct{} // closed by the worker when res/code are final
+	res      JobResult
+	code     int
+}
+
+// fail records a terminal non-OK outcome.
+func (j *job) fail(code int, status string, err error) {
+	j.code = code
+	j.res.Status = status
+	j.res.Error = err.Error()
+}
+
+// Server runs simulation jobs from an admission queue on a bounded
+// worker pool over a shared warm-machine sim.Pool.
+type Server struct {
+	cfg  Config
+	pool sim.Pool
+	met  metrics
+	mux  *http.ServeMux
+
+	queue  chan *job
+	wg     sync.WaitGroup // the workers
+	nextID uint64
+
+	admitMu  sync.Mutex // guards drain + queue sends vs close
+	drain    bool
+	drainCtx context.Context // canceled when the shutdown grace expires
+	stopNow  context.CancelFunc
+}
+
+// New builds a Server and starts its workers. Stop it with Shutdown.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.pool.SetCapacity(cfg.PoolPerKey, cfg.PoolTotal)
+	s.drainCtx, s.stopNow = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleJobs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (POST /jobs, GET /healthz,
+// GET /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown gracefully stops the server: admission closes immediately
+// (new jobs get 503), queued and running jobs drain to completion, and
+// when ctx expires first, still-running jobs are preempted at their
+// next slice boundary and checkpointed to Config.CheckpointDir.
+// Shutdown returns once every admitted job has been answered.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	if s.drain {
+		s.admitMu.Unlock()
+		return errors.New("serve: already shut down")
+	}
+	s.drain = true
+	close(s.queue)
+	s.admitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.stopNow() // preempt in-flight jobs at their next slice
+		<-done
+	}
+	s.stopNow()
+	return nil
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.drain
+}
+
+// Errors distinguishing the two admission refusals.
+var (
+	errDraining  = errors.New("server is shutting down")
+	errQueueFull = errors.New("admission queue is full")
+)
+
+// admit enqueues a job without blocking, refusing when the queue is
+// full or the server is draining.
+func (s *Server) admit(j *job) error {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.drain {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.met.accepted.Add(1)
+		s.met.queueDepth.Add(1)
+		return nil
+	default:
+		s.met.rejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Add(-1)
+		if gate := s.cfg.testGate; gate != nil {
+			gate()
+		}
+		s.met.inflight.Add(1)
+		s.runJob(j)
+		s.met.inflight.Add(-1)
+		close(j.done)
+	}
+}
+
+// runJob executes one admitted job and fills its result.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	j.res.QueueMs = float64(start.Sub(j.enqueued)) / float64(time.Millisecond)
+	if s.drainCtx.Err() != nil {
+		// The grace period expired while the job sat in the queue: it
+		// never started, so there is no state worth checkpointing.
+		s.met.failed.Add(1)
+		j.fail(http.StatusServiceUnavailable, StatusRejected,
+			errors.New("server shut down before the job started"))
+		return
+	}
+	sess, warm, err := s.pool.GetWarm(j.spec)
+	if err != nil {
+		s.met.failed.Add(1)
+		j.fail(http.StatusInternalServerError, StatusError, err)
+		return
+	}
+	j.res.PoolWarm = warm
+	runCtx, cancel := context.WithTimeout(j.ctx, j.deadline)
+	defer cancel()
+	res, err := sess.RunSliced(s.cfg.Slice, func(uint64) error {
+		select {
+		case <-s.drainCtx.Done():
+			return errPreempted
+		case <-runCtx.Done():
+			if errors.Is(runCtx.Err(), context.DeadlineExceeded) {
+				return errDeadline
+			}
+			return errCanceled
+		default:
+			return nil
+		}
+	})
+	elapsed := time.Since(start)
+	j.res.RunMs = float64(elapsed) / float64(time.Millisecond)
+	s.met.runNanos.Add(uint64(elapsed))
+	s.met.simCycles.Add(sess.Machine().Cycle())
+
+	switch {
+	case err == nil:
+		j.code = http.StatusOK
+		j.res.Status = StatusOK
+		j.res.fill(sess, res, j.req.Ring)
+		s.met.completed.Add(1)
+		s.pool.Put(sess) // only cleanly finished machines go back
+	case errors.Is(err, errPreempted):
+		s.met.preempted.Add(1)
+		j.code = http.StatusServiceUnavailable
+		j.res.Status = StatusPreempted
+		j.res.Error = s.checkpointPreempted(j, sess)
+	case errors.Is(err, errDeadline):
+		s.met.failed.Add(1)
+		j.fail(http.StatusGatewayTimeout, StatusDeadline,
+			fmt.Errorf("deadline %s elapsed at cycle %d", j.deadline, sess.Machine().Cycle()))
+	case errors.Is(err, errCanceled):
+		s.met.failed.Add(1)
+		j.fail(statusClientClosedRequest, StatusCanceled, errCanceled)
+	default:
+		// The machine itself stopped: a deterministic fault or the
+		// simulated-cycle budget. The service worked; the run did not.
+		s.met.failed.Add(1)
+		j.fail(http.StatusUnprocessableEntity, StatusError, err)
+	}
+}
+
+// checkpointPreempted serializes a preempted job's machine state and
+// returns the message describing where (or why not). The machine is
+// paused at a cycle boundary, so the checkpoint resumes bit-exactly.
+func (s *Server) checkpointPreempted(j *job, sess *sim.Session) string {
+	cycle := sess.Machine().Cycle()
+	if s.cfg.CheckpointDir == "" {
+		return fmt.Sprintf("preempted by shutdown at cycle %d; state discarded (no checkpoint dir)", cycle)
+	}
+	cp, err := sess.Checkpoint()
+	if err != nil {
+		return fmt.Sprintf("preempted by shutdown at cycle %d; checkpoint failed: %v", cycle, err)
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, j.id+".ckpt")
+	if err := os.WriteFile(path, cp, 0o644); err != nil {
+		return fmt.Sprintf("preempted by shutdown at cycle %d; checkpoint failed: %v", cycle, err)
+	}
+	j.res.Checkpoint = path
+	return fmt.Sprintf("preempted by shutdown at cycle %d; resume with lbp-run -resume %s", cycle, path)
+}
+
+// handleJobs admits one job and answers with its JobResult.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxCycles := req.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = s.cfg.DefaultMaxCycles
+	}
+	if maxCycles > s.cfg.MaxCyclesCap {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("maxCycles %d exceeds the server cap %d", maxCycles, s.cfg.MaxCyclesCap))
+		return
+	}
+	deadline := s.cfg.Deadline
+	if d := time.Duration(req.DeadlineMs) * time.Millisecond; d > 0 && d < deadline {
+		deadline = d
+	}
+	prog, err := req.compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("program: %w", err))
+		return
+	}
+	j := &job{
+		id:  fmt.Sprintf("job-%06d", s.jobID()),
+		req: req,
+		spec: sim.Spec{
+			Program:         prog,
+			Cores:           req.Cores,
+			SharedBankBytes: req.BankBytes,
+			MaxCycles:       maxCycles,
+			Trace:           sim.TraceSpec{Digest: req.Digest, Ring: req.Ring},
+			Profile:         req.Profile,
+		},
+		deadline: deadline,
+		ctx:      r.Context(),
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	j.res.ID = j.id
+	switch err := s.admit(j); {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	<-j.done
+	writeJSON(w, j.code, &j.res)
+}
+
+// jobID hands out monotonically increasing job numbers.
+func (s *Server) jobID() uint64 {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writePrometheus(w, s.pool.Stats(), s.pool.Idle())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error means the client is gone; there is nobody to tell.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, &JobResult{Status: StatusRejected, Error: err.Error()})
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// exitSource is the smallest runnable program (the Figure 6 bare-metal
+// exit identity): pool churn tests reset and reuse machines hundreds of
+// times, so the program must be trivial.
+const exitSource = "main:\n\tli ra, 0\n\tli t0, -1\n\tp_ret\n"
+
+func exitProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(exitSource, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// tinySpec builds distinct pool keys cheaply: MaxCycles is part of the
+// key, so varying it yields incompatible specs on the same geometry.
+func tinySpec(prog *asm.Program, maxCycles uint64) Spec {
+	return Spec{Program: prog, Cores: 1, MaxCycles: maxCycles}
+}
+
+// TestPoolEvictsOldestPerKey: the per-key bound drops the oldest idle
+// session, keeping the most recently returned machines warm.
+func TestPoolEvictsOldestPerKey(t *testing.T) {
+	prog := exitProgram(t)
+	spec := tinySpec(prog, 10_000)
+	var p Pool
+	p.SetCapacity(2, 64)
+	var sess [3]*Session
+	for i := range sess {
+		s, err := p.Get(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+	for _, s := range sess {
+		p.Put(s)
+	}
+	if got := p.Idle(); got != 2 {
+		t.Fatalf("idle = %d, want 2 (per-key bound)", got)
+	}
+	if st := p.Stats(); st.Evictions != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 3 misses", st)
+	}
+	// LIFO reuse: newest first, and the oldest (sess[0]) is gone.
+	for i, want := range []*Session{sess[2], sess[1]} {
+		got, warm, err := p.GetWarm(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm || got != want {
+			t.Errorf("get %d: warm=%v session=%p, want warm %p", i, warm, got, want)
+		}
+	}
+	got, warm, err := p.GetWarm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm || got == sess[0] {
+		t.Error("evicted session was handed back out")
+	}
+}
+
+// TestPoolTotalCapacityEvictsAcrossKeys: the total bound evicts the
+// globally oldest idle session, whatever key it belongs to.
+func TestPoolTotalCapacityEvictsAcrossKeys(t *testing.T) {
+	prog := exitProgram(t)
+	specs := []Spec{tinySpec(prog, 1000), tinySpec(prog, 2000), tinySpec(prog, 3000)}
+	var p Pool
+	p.SetCapacity(4, 2)
+	var sess [3]*Session
+	for i, sp := range specs {
+		s, err := p.Get(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+	for _, s := range sess {
+		p.Put(s)
+	}
+	if got := p.Idle(); got != 2 {
+		t.Fatalf("idle = %d, want 2 (total bound)", got)
+	}
+	// sess[0] (oldest overall) was evicted; the other two are warm.
+	if _, warm, err := p.GetWarm(specs[0]); err != nil || warm {
+		t.Errorf("spec 0: warm=%v err=%v, want a fresh build", warm, err)
+	}
+	for i := 1; i < 3; i++ {
+		got, warm, err := p.GetWarm(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm || got != sess[i] {
+			t.Errorf("spec %d: warm=%v session=%p, want warm %p", i, warm, got, sess[i])
+		}
+	}
+}
+
+// TestPoolShrinkOnSetCapacity: tightening the bounds evicts immediately.
+func TestPoolShrinkOnSetCapacity(t *testing.T) {
+	prog := exitProgram(t)
+	var p Pool
+	var sess [6]*Session
+	for i := range sess {
+		s, err := p.Get(tinySpec(prog, uint64(1000*(1+i%3))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+	for _, s := range sess {
+		p.Put(s)
+	}
+	if got := p.Idle(); got != 6 {
+		t.Fatalf("idle = %d, want 6", got)
+	}
+	p.SetCapacity(1, 2)
+	if got := p.Idle(); got > 2 {
+		t.Errorf("idle = %d after SetCapacity(1, 2), want <= 2", got)
+	}
+	for key, list := range p.free {
+		if len(list) > 1 {
+			t.Errorf("key %+v holds %d idle sessions, want <= 1", key, len(list))
+		}
+	}
+}
+
+// TestPoolBoundUnderConcurrentGetPut is the regression test for the
+// unbounded-growth bug: many goroutines churning Get/Put across several
+// geometries must never leave more idle sessions than the bounds allow.
+// Runs under -race in tier-1.
+func TestPoolBoundUnderConcurrentGetPut(t *testing.T) {
+	prog := exitProgram(t)
+	specs := []Spec{tinySpec(prog, 1000), tinySpec(prog, 2000), tinySpec(prog, 3000)}
+	var p Pool
+	p.SetCapacity(2, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, err := p.Get(specs[(g+i)%len(specs)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := p.Idle(); n > 3 {
+					t.Errorf("idle = %d mid-churn, want <= 3", n)
+					return
+				}
+				p.Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sum := 0
+	for key, list := range p.free {
+		if len(list) > 2 {
+			t.Errorf("key %+v holds %d idle sessions, want <= 2", key, len(list))
+		}
+		sum += len(list)
+	}
+	if sum != p.count || p.count > 3 {
+		t.Errorf("count = %d (lists sum %d), want consistent and <= 3", p.count, sum)
+	}
+	st := p.stats
+	if st.Hits+st.Misses != 800 {
+		t.Errorf("hits %d + misses %d != 800 gets", st.Hits, st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("no warm reuse under churn")
+	}
+}

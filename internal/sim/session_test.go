@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -274,6 +275,89 @@ func TestRunWithCheckpointsResume(t *testing.T) {
 	_, got := runToEnd(t, resumed)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("resume of last checkpoint diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunSliced: slicing a run for cooperative cancellation never
+// disturbs the simulated results, and a run stopped by a check error
+// pauses at a cycle boundary from which checkpoint+resume reproduces
+// the uninterrupted run bit-exactly.
+func TestRunSliced(t *testing.T) {
+	prog, err := workloads.BuildMatmul(workloads.Base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloads.MatmulConfig(4)
+	spec := Spec{
+		Program:   prog,
+		Config:    &cfg,
+		MaxCycles: workloads.MaxMatmulCycles(4),
+		Trace:     TraceSpec{Digest: true},
+		Profile:   true,
+	}
+	base, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := runToEnd(t, base)
+
+	sess, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunSliced(0, func(uint64) error { return nil }); err == nil {
+		t.Error("RunSliced must reject a zero slice")
+	}
+	checks := 0
+	res, err := sess.RunSliced(500, func(uint64) error { checks++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks < 2 {
+		t.Errorf("check ran %d times, want at least one slice boundary", checks)
+	}
+	st := res.Stats
+	st.FastForwarded = 0
+	got := outcome{
+		halt:   res.Halt,
+		stats:  st,
+		mem:    res.Mem,
+		digest: sess.Recorder().Digest(),
+		events: sess.Recorder().Count(),
+		perf:   sess.PerfSnapshot(),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sliced run diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A check error stops mid-run; checkpoint + resume finishes the run
+	// with the uninterrupted digest.
+	stop := errors.New("preempt")
+	half := want.stats.Cycles / 2
+	sess2, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess2.RunSliced(500, func(c uint64) error {
+		if c >= half {
+			return stop
+		}
+		return nil
+	})
+	if res != nil || !errors.Is(err, stop) {
+		t.Fatalf("RunSliced = (%v, %v), want the check error", res, err)
+	}
+	cp, err := sess2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(cp, ResumeSpec{MaxCycles: workloads.MaxMatmulCycles(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got = runToEnd(t, resumed)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("preempted+resumed run diverged:\n got %+v\nwant %+v", got, want)
 	}
 }
 

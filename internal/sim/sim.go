@@ -160,6 +160,39 @@ func (s *Session) Advance(n uint64) (*lbp.Result, error) { return s.m.Advance(n)
 // Checkpoint serializes the machine's full architectural state.
 func (s *Session) Checkpoint() ([]byte, error) { return s.m.Checkpoint() }
 
+// RunSliced runs to completion like Run, but advances in slices of at
+// most `slice` cycles and calls check at every slice boundary (and once
+// before the first slice). A non-nil check error pauses the machine at
+// a cycle boundary — it can then be checkpointed or advanced further —
+// and is returned verbatim. This is the cooperative-cancellation hook:
+// a serving layer checks wall-clock deadlines and shutdown signals
+// between slices without ever disturbing the simulated results, which
+// are bit-identical for every slice size.
+func (s *Session) RunSliced(slice uint64, check func(cycle uint64) error) (*lbp.Result, error) {
+	if slice == 0 {
+		return nil, fmt.Errorf("sim: slice must be positive")
+	}
+	max := s.MaxCycles()
+	for {
+		if err := check(s.m.Cycle()); err != nil {
+			return nil, err
+		}
+		c := s.m.Cycle()
+		if c >= max {
+			// Budget exhausted: Run produces the canonical error.
+			return s.m.Run(max)
+		}
+		n := slice
+		if c+n > max {
+			n = max - c
+		}
+		res, err := s.m.Advance(n)
+		if res != nil || err != nil {
+			return res, err
+		}
+	}
+}
+
 // RunWithCheckpoints runs to completion like Run, but pauses every
 // `every` cycles and hands a freshly serialized checkpoint to save.
 // Resuming the last saved checkpoint reproduces the remainder of the

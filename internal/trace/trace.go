@@ -138,6 +138,10 @@ func (r *Recorder) Digest() uint64 { return r.digest }
 // Count returns the number of recorded events.
 func (r *Recorder) Count() uint64 { return r.count }
 
+// RingSize returns the event-retention capacity (0 = digest-only: the
+// recorder folds events but keeps none for Last or WriteChrome).
+func (r *Recorder) RingSize() int { return len(r.ring) }
+
 // Last returns up to n of the most recent events, oldest first.
 // Non-positive n returns nil.
 func (r *Recorder) Last(n int) []Event {

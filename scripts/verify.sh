@@ -2,6 +2,7 @@
 # verify.sh — the tier-1 verification gate (see ROADMAP.md).
 #
 #   scripts/verify.sh            build + vet + gofmt + tests + race subset
+#                                + lbp-serve smoke test
 #   scripts/verify.sh -bench N   ...then regenerate figure N and benchdiff
 #                                it against the recorded BENCH_figN.json
 #                                (fails on any simulated-result change).
@@ -22,7 +23,38 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/runner ./internal/figures ./internal/sim ./cmd/lbp-bench
+go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./cmd/lbp-bench
+
+# Smoke-test the serving daemon over real HTTP: ephemeral port, one
+# job, /healthz, then a clean SIGTERM drain.
+smokedir=$(mktemp -d)
+trap 'kill "$servepid" 2>/dev/null || true; rm -rf "$smokedir"' EXIT INT TERM
+go build -o "$smokedir/lbp-serve" ./cmd/lbp-serve
+"$smokedir/lbp-serve" -addr 127.0.0.1:0 -addrfile "$smokedir/addr" \
+    >"$smokedir/serve.log" 2>&1 &
+servepid=$!
+i=0
+while [ ! -s "$smokedir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "lbp-serve never wrote its address:" >&2
+        cat "$smokedir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$smokedir/addr")
+curl -fsS "http://$addr/healthz" >/dev/null
+curl -fsS -X POST "http://$addr/jobs" \
+    -d '{"source":"main:\n\tli ra, 0\n\tli t0, -1\n\tp_ret\n","lang":"s","cores":1,"digest":true}' \
+    >"$smokedir/job.json"
+grep -q '"status": "ok"' "$smokedir/job.json"
+grep -q '"halt": "exit"' "$smokedir/job.json"
+curl -fsS "http://$addr/metrics" | grep -q '^lbp_serve_jobs_completed_total 1$'
+kill -TERM "$servepid"
+wait "$servepid"
+grep -q "drained" "$smokedir/serve.log"
+echo "verify: lbp-serve smoke OK"
 
 if [ -n "$fig" ]; then
     go run ./cmd/lbp-bench -fig "$fig" -outdir out/
