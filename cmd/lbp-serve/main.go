@@ -7,6 +7,7 @@
 //	lbp-serve [-addr HOST:PORT] [-workers N] [-queue N] [-deadline D]
 //	          [-maxcycles N] [-slice N] [-ckptdir DIR] [-drain D]
 //	          [-pool-per-key N] [-pool-total N] [-addrfile FILE]
+//	          [-cachedir DIR] [-cachemax BYTES]
 //
 // Endpoints:
 //
@@ -18,6 +19,13 @@
 // machine geometry and observer options; the response embeds the
 // deterministic digest and perf snapshot, so any client can verify the
 // result bit-for-bit against a local lbp-run of the same program.
+//
+// Every run is deterministic, so results are pure functions of the
+// canonical job. With -cachedir set, the server keeps a
+// content-addressed result cache on disk (bounded to -cachemax bytes,
+// least recently used evicted first): a repeat job is answered from the
+// cache without simulating a cycle, byte-identical in every
+// deterministic field and marked "cached": true.
 //
 // Admission is bounded: when the queue is full the server answers 429
 // with Retry-After instead of queueing without limit. On SIGINT or
@@ -41,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/serve"
 )
 
@@ -56,6 +65,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace before in-flight jobs are preempted")
 	poolPerKey := flag.Int("pool-per-key", 0, "warm machines kept per configuration (0 = default)")
 	poolTotal := flag.Int("pool-total", 0, "warm machines kept in total (0 = default)")
+	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = caching off)")
+	cacheMax := flag.Int64("cachemax", 0, "result cache size bound in bytes (0 = 256 MiB)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: lbp-serve [flags] (it takes no arguments)")
@@ -70,8 +81,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbp-serve: -slice must be positive")
 		os.Exit(2)
 	}
+	if *cacheMax < 0 {
+		fmt.Fprintf(os.Stderr, "lbp-serve: -cachemax %d must not be negative\n", *cacheMax)
+		os.Exit(2)
+	}
+	if *cacheMax > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "lbp-serve: -cachemax needs -cachedir")
+		os.Exit(2)
+	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	var store *cache.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = cache.Open(*cacheDir, *cacheMax); err != nil {
 			fatal(err)
 		}
 	}
@@ -85,6 +111,7 @@ func main() {
 		CheckpointDir: *ckptDir,
 		PoolPerKey:    *poolPerKey,
 		PoolTotal:     *poolTotal,
+		Cache:         store,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,268 @@
+// Package cache is a content-addressed, on-disk result store: the
+// persistence layer behind lbp-serve's result cache. Every simulation
+// in this repository is deterministic and digest-verified, so a job's
+// outcome is a pure function of its canonical content address
+// (sim.CacheKey) — which makes the stored payload immutable: a key
+// either maps to the one correct payload or to nothing. That property
+// shapes the whole design:
+//
+//   - Writes are atomic (temp file + rename into place) and
+//     last-write-wins. Concurrent writers racing on the same key are
+//     by construction writing identical bytes, so no locking across
+//     processes is needed and a reader never observes a torn file.
+//   - Reads are corruption-tolerant: a missing, unreadable or
+//     non-JSON file is a miss, never an error. The entry is dropped
+//     and the caller re-simulates, which rewrites it.
+//   - The store is bounded: an in-memory index tracks every entry's
+//     size and recency, and Put evicts least-recently-used entries
+//     until the configured byte bound holds again.
+//
+// Layout: <dir>/<first two hex digits>/<64-hex-digit key>.json — the
+// classic CAS fan-out so no single directory grows unboundedly. Open
+// rebuilds the index by scanning that layout, so the cache survives
+// process restarts with recency approximated by file modification
+// time.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes bounds a store whose caller does not: 256 MiB holds
+// on the order of a hundred thousand typical result payloads.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a snapshot of the store's size and eviction traffic.
+// Hit/miss accounting belongs to the caller (the serving layer counts
+// lookups; the store only knows about bytes).
+type Stats struct {
+	Entries   int   // payloads currently indexed
+	Bytes     int64 // total payload bytes on disk
+	Evictions uint64
+}
+
+// entry is the index record of one stored payload.
+type entry struct {
+	size int64
+	seq  uint64 // last-use sequence; smallest = least recently used
+}
+
+// Store is one content-addressed directory. It is safe for concurrent
+// use by any number of goroutines.
+type Store struct {
+	dir string
+	max int64
+
+	mu        sync.Mutex
+	entries   map[string]entry
+	seq       uint64
+	bytes     int64
+	evictions uint64
+}
+
+// Open creates (or reopens) the store rooted at dir, bounded to
+// maxBytes of payload (<= 0 selects DefaultMaxBytes). Existing entries
+// are indexed with recency taken from file modification times; entries
+// beyond the bound are evicted oldest-first immediately.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s := &Store{dir: dir, max: maxBytes, entries: make(map[string]entry)}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	removals := s.evictLocked()
+	s.mu.Unlock()
+	s.remove(removals)
+	return s, nil
+}
+
+// validKey reports whether key is a well-formed content address
+// (64 lowercase hex digits, the SHA-256 of the canonical job).
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path is the on-disk location of a key's payload.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// scan rebuilds the index from the directory layout.
+func (s *Store) scan() error {
+	type found struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var all []found
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			continue // a vanished shard is an empty shard
+		}
+		for _, f := range files {
+			key, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok || !validKey(key) || key[:2] != shard.Name() {
+				continue // foreign file; leave it alone
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			all = append(all, found{key, info.Size(), info.ModTime()})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mod.Before(all[j].mod) })
+	for _, f := range all {
+		s.seq++
+		s.entries[f.key] = entry{size: f.size, seq: s.seq}
+		s.bytes += f.size
+	}
+	return nil
+}
+
+// Get returns the payload stored under key. Any failure to produce a
+// well-formed payload — no entry, unreadable file, payload that is not
+// valid JSON — is reported as a miss and the bad entry is dropped, so
+// on-disk corruption costs one re-simulation, never an error.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.seq++
+	e.seq = s.seq
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if err != nil || !json.Valid(data) {
+		s.Remove(key)
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores payload under key, atomically (write-temp-then-rename):
+// a concurrent Get sees either the old complete payload or the new
+// one, never a partial write. Racing Puts on the same key carry
+// identical bytes by construction, so last-write-wins is correct.
+// Least-recently-used entries are evicted until the byte bound holds.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("cache: malformed key %q", key)
+	}
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, ".put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		s.bytes -= old.size
+	}
+	s.seq++
+	s.entries[key] = entry{size: int64(len(payload)), seq: s.seq}
+	s.bytes += int64(len(payload))
+	removals := s.evictLocked()
+	s.mu.Unlock()
+	s.remove(removals)
+	return nil
+}
+
+// evictLocked drops least-recently-used index entries until the byte
+// bound holds (the newest entry always survives, even oversized) and
+// returns the keys whose files the caller must remove outside the
+// lock. Callers hold s.mu.
+func (s *Store) evictLocked() []string {
+	var removals []string
+	for s.bytes > s.max && len(s.entries) > 1 {
+		oldestKey, oldestSeq := "", uint64(0)
+		for key, e := range s.entries {
+			if oldestKey == "" || e.seq < oldestSeq {
+				oldestKey, oldestSeq = key, e.seq
+			}
+		}
+		s.bytes -= s.entries[oldestKey].size
+		delete(s.entries, oldestKey)
+		s.evictions++
+		removals = append(removals, oldestKey)
+	}
+	return removals
+}
+
+// remove deletes evicted payload files.
+func (s *Store) remove(keys []string) {
+	for _, key := range keys {
+		os.Remove(s.path(key))
+	}
+}
+
+// Remove drops one entry (index and file). Dropping an absent key is a
+// no-op, so callers can disagree about what is present.
+func (s *Store) Remove(key string) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		s.bytes -= e.size
+	}
+	s.mu.Unlock()
+	if validKey(key) {
+		os.Remove(s.path(key))
+	}
+}
+
+// Stats returns a snapshot of the store's size and eviction counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Entries: len(s.entries), Bytes: s.bytes, Evictions: s.evictions}
+}

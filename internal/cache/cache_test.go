@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// keyOf builds a well-formed content address from any seed.
+func keyOf(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+// payload builds a valid JSON payload of roughly n bytes.
+func payload(seed string, n int) []byte {
+	pad := n - len(seed) - len(`{"seed":"","pad":""}`)
+	if pad < 0 {
+		pad = 0
+	}
+	return []byte(fmt.Sprintf(`{"seed":%q,"pad":%q}`, seed, strings.Repeat("x", pad)))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf("a")
+	want := []byte(`{"cycles":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != int64(len(want)) {
+		t.Errorf("stats = %+v, want 1 entry of %d bytes", st, len(want))
+	}
+}
+
+func TestBadKeyRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "xyz", keyOf("a")[:63], keyOf("a") + "0", "../" + keyOf("a")[3:]} {
+		if err := s.Put(key, []byte("{}")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on a malformed key", key)
+		}
+	}
+}
+
+// TestCorruptEntryIsMiss: a payload that rots on disk (truncated,
+// overwritten, or deleted) reads as a miss, and the bad entry is
+// dropped so the next Put repairs it.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf("corrupt")
+	if err := s.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), []byte(`{"ok":tr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Errorf("corrupt entry still indexed: %+v", st)
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Errorf("corrupt file not removed: %v", err)
+	}
+	// A vanished file is the same story.
+	if err := s.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(s.path(key))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("vanished entry served as a hit")
+	}
+}
+
+// TestLRUEviction: Put beyond the byte bound evicts least recently
+// used first, and Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	// Three ~100-byte payloads against a 250-byte bound.
+	s, err := Open(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := keyOf("a"), keyOf("b"), keyOf("c")
+	for _, k := range []string{a, b} {
+		if err := s.Put(k, payload(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is now the LRU entry.
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	if err := s.Put(c, payload(c, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{a, c} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("entry %s... evicted out of LRU order", k[:8])
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes > 250 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries, <= 250 bytes", st)
+	}
+}
+
+// TestOversizedEntrySurvivesAlone: a single payload larger than the
+// bound is kept (evicting it would make the cache useless), but it is
+// the only survivor.
+func TestOversizedEntrySurvivesAlone(t *testing.T) {
+	s, err := Open(t.TempDir(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keyOf("a"), keyOf("b")
+	if err := s.Put(a, payload(a, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("oversized sole entry evicted")
+	}
+	if err := s.Put(b, payload(b, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(a); ok {
+		t.Error("older oversized entry survived a newer Put")
+	}
+	if _, ok := s.Get(b); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+// TestReopenFindsEntries: the index is rebuilt from the directory, so
+// a cache outlives its process.
+func TestReopenFindsEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf("persist")
+	want := []byte(`{"cycles":7}`)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign files in the layout are ignored, not indexed or deleted.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key[:2], "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("reopened Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Errorf("reopened stats = %+v, want exactly 1 entry", st)
+	}
+}
+
+// TestConcurrentPutGet: racing writers on the same key write identical
+// bytes (last-write-wins is correct by construction) while readers
+// never observe a torn payload. Run under -race in tier-1.
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	key := keyOf("contended")
+	want := []byte(`{"cycles":1151,"digest":123456789}`)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); ok && string(got) != string(want) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, ok := s.Get(key); !ok || string(got) != string(want) {
+		t.Fatalf("final Get = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != int64(len(want)) {
+		t.Errorf("stats = %+v, want a single entry of %d bytes", st, len(want))
+	}
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"math"
 
 	"repro/internal/asm"
 	"repro/internal/cc"
@@ -55,8 +54,16 @@ func (r *JobRequest) validate() error {
 	if r.Cores < 0 {
 		return fmt.Errorf("cores %d must not be negative", r.Cores)
 	}
-	if b := r.BankBytes; b != 0 && (uint64(b) > math.MaxUint32 || b&(b-1) != 0) {
-		return fmt.Errorf("bankBytes %d must be a power of two that fits in 32 bits", b)
+	if b := r.BankBytes; b != 0 {
+		if b&(b-1) != 0 {
+			return fmt.Errorf("bankBytes %d must be a power of two", b)
+		}
+		// The compiler reserves the first BankReserveBytes of every
+		// bank for __bank(n) globals; a bank smaller than the reserve
+		// cannot hold any program data.
+		if min := cc.DefaultOptions().BankReserveBytes; b < min {
+			return fmt.Errorf("bankBytes %d is below the minimum bank size %d", b, min)
+		}
 	}
 	if r.Ring < 0 {
 		return fmt.Errorf("ring %d must not be negative", r.Ring)
@@ -103,8 +110,10 @@ const (
 // JobResult is the response body for one job. Cycles, Retired, IPC,
 // Digest, Events, Mem and Perf are fully deterministic: any client
 // running the same request anywhere — including a local sim.Session —
-// sees identical values bit for bit. QueueMs, RunMs and PoolWarm are
-// host-side diagnostics and vary run to run.
+// sees identical values bit for bit. ID, Cached, PoolWarm, QueueMs and
+// RunMs are host-side diagnostics and vary run to run (the result
+// cache stores payloads with all of them zeroed, which is why a cache
+// hit is byte-identical to a cold run in every deterministic field).
 type JobResult struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
@@ -126,9 +135,10 @@ type JobResult struct {
 	// state of a preempted job; lbp-run -resume picks it back up.
 	Checkpoint string `json:"checkpoint,omitempty"`
 
-	PoolWarm bool    `json:"poolWarm"` // served by a warm pooled machine
-	QueueMs  float64 `json:"queueMs"`  // admission-to-start wait
-	RunMs    float64 `json:"runMs"`    // wall time inside the simulator
+	Cached   bool    `json:"cached,omitempty"` // served from the result cache, no cycles simulated
+	PoolWarm bool    `json:"poolWarm"`         // served by a warm pooled machine
+	QueueMs  float64 `json:"queueMs"`          // admission-to-start wait
+	RunMs    float64 `json:"runMs"`            // wall time inside the simulator
 }
 
 // fill copies the deterministic outcome of a finished run into the

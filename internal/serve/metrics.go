@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/sim"
 )
 
@@ -18,6 +19,11 @@ type metrics struct {
 	failed    atomic.Uint64 // fault/budget/deadline/cancel outcomes
 	preempted atomic.Uint64 // jobs checkpointed by shutdown
 
+	cacheHits   atomic.Uint64 // jobs answered from the result cache
+	cacheMisses atomic.Uint64 // cache lookups that had to simulate
+
+	poolDiscarded atomic.Uint64 // sessions not returned to the pool (preempted by shutdown)
+
 	queueDepth atomic.Int64 // jobs admitted but not yet started
 	inflight   atomic.Int64 // jobs currently running
 
@@ -27,7 +33,7 @@ type metrics struct {
 
 // writePrometheus emits the Prometheus text exposition format
 // (hand-rolled: the repo takes no dependencies).
-func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int) {
+func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int, cs cache.Stats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -39,11 +45,18 @@ func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int) {
 	counter("lbp_serve_jobs_completed_total", "Jobs whose simulation ran to completion.", m.completed.Load())
 	counter("lbp_serve_jobs_failed_total", "Jobs that ended in a fault, budget, deadline or cancellation.", m.failed.Load())
 	counter("lbp_serve_jobs_preempted_total", "Jobs checkpointed to disk by a shutdown.", m.preempted.Load())
+	counter("lbp_serve_cache_hits_total", "Jobs answered from the content-addressed result cache.", m.cacheHits.Load())
+	counter("lbp_serve_cache_misses_total", "Cache lookups that fell through to a simulation.", m.cacheMisses.Load())
+	gauge("lbp_serve_cache_bytes", "Payload bytes in the result cache.", float64(cs.Bytes))
+	gauge("lbp_serve_cache_entries", "Payloads in the result cache.", float64(cs.Entries))
+	counter("lbp_serve_cache_evictions_total", "Result-cache entries evicted by the size bound.", cs.Evictions)
 	gauge("lbp_serve_queue_depth", "Jobs admitted but not yet running.", float64(m.queueDepth.Load()))
 	gauge("lbp_serve_jobs_inflight", "Jobs currently running.", float64(m.inflight.Load()))
 	counter("lbp_serve_pool_hits_total", "Warm-machine pool hits.", pool.Hits)
 	counter("lbp_serve_pool_misses_total", "Warm-machine pool misses (fresh builds).", pool.Misses)
 	counter("lbp_serve_pool_evictions_total", "Idle sessions evicted by the pool capacity bounds.", pool.Evictions)
+	counter("lbp_serve_pool_reset_failures_total", "Warm machines dropped because their checkout Reset failed.", pool.ResetFailures)
+	counter("lbp_serve_pool_discarded_total", "Checked-out sessions not returned to the pool (preempted by shutdown).", m.poolDiscarded.Load())
 	gauge("lbp_serve_pool_idle", "Idle warm machines in the pool.", float64(idle))
 	counter("lbp_serve_sim_cycles_total", "Simulated cycles across all jobs.", m.simCycles.Load())
 	cps := 0.0

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/sim"
 )
 
@@ -107,7 +108,9 @@ func directRun(t *testing.T, req JobRequest, maxCycles uint64) *JobResult {
 // TestDeterminismUnderLoad is the acceptance test: the same job
 // submitted by many concurrent clients must return, for every one of
 // them, exactly the cycles, retired count and trace digest of a direct
-// sim.Session run. Runs under -race in tier-1.
+// sim.Session run — including while other clients cancel long jobs
+// mid-run, whose machines cycle back through the warm pool. Runs under
+// -race in tier-1.
 func TestDeterminismUnderLoad(t *testing.T) {
 	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true, Profile: true}
 	want := directRun(t, req, 100_000_000)
@@ -118,9 +121,33 @@ func TestDeterminismUnderLoad(t *testing.T) {
 	defer ts.Close()
 
 	const clients = 12
+	const cancelers = 4
+	spin, err := json.Marshal(JobRequest{Source: spinSource, Lang: "s", Cores: 1, Digest: true, MaxCycles: 400_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	results := make([]*JobResult, clients)
 	codes := make([]int, clients)
 	var wg sync.WaitGroup
+	for i := 0; i < cancelers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(spin))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// The cancellation races the run; either way the response
+			// is irrelevant — what matters is that it cannot perturb
+			// anyone else's digest.
+			if resp, err := http.DefaultClient.Do(hr); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -129,6 +156,10 @@ func TestDeterminismUnderLoad(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	// Let the server finish the canceled jobs before reading counters.
+	waitFor(t, "canceled jobs drained", func() bool {
+		return srv.met.inflight.Load() == 0 && srv.met.queueDepth.Load() == 0
+	})
 	for i, jr := range results {
 		if codes[i] != http.StatusOK || jr.Status != StatusOK {
 			t.Errorf("client %d: HTTP %d status %q (%s)", i, codes[i], jr.Status, jr.Error)
@@ -151,8 +182,16 @@ func TestDeterminismUnderLoad(t *testing.T) {
 	}
 	// The pool must have been exercised: 12 jobs over 4 workers cannot
 	// all have built fresh machines... but every reuse was invisible.
-	if st := srv.pool.Stats(); st.Hits == 0 {
+	st := srv.pool.Stats()
+	if st.Hits == 0 {
 		t.Error("no warm-pool hits under load")
+	}
+	if st.ResetFailures != 0 {
+		t.Errorf("reset failures = %d, want 0", st.ResetFailures)
+	}
+	// Canceled jobs hand their machines back instead of discarding.
+	if got := srv.met.poolDiscarded.Load(); got != 0 {
+		t.Errorf("pool_discarded = %d under cancel-heavy load, want 0", got)
 	}
 }
 
@@ -361,6 +400,7 @@ func TestRequestValidation(t *testing.T) {
 		{"bad lang", JobRequest{Source: "x", Lang: "rust"}},
 		{"negative cores", JobRequest{Source: "x", Cores: -1}},
 		{"bank not power of two", JobRequest{Source: "x", BankBytes: 12345}},
+		{"bank below the compiler reserve", JobRequest{Source: "x", BankBytes: 1024}},
 		{"negative ring", JobRequest{Source: "x", Ring: -1}},
 		{"negative deadline", JobRequest{Source: "x", DeadlineMs: -1}},
 		{"budget over cap", JobRequest{Source: "x", MaxCycles: 1 << 62}},
@@ -449,4 +489,328 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// postJobRaw submits one job and returns the raw response body along
+// with the decoded result, for byte-level payload comparisons.
+func postJobRaw(t *testing.T, url string, req JobRequest) (int, []byte, *JobResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(readAll(t, resp))
+	var jr JobResult
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v\n%s", resp.StatusCode, err, raw)
+	}
+	return resp.StatusCode, raw, &jr
+}
+
+// stripHostFields removes the host-side diagnostic fields from a raw
+// JSON response, leaving only the deterministic payload.
+func stripHostFields(t *testing.T, raw []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"id", "cached", "poolWarm", "queueMs", "runMs"} {
+		delete(m, k)
+	}
+	b, err := json.Marshal(m) // map keys marshal sorted: a canonical form
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// newCachedServer builds a server backed by a fresh result cache and
+// returns the cache directory for tests that reach into the layout.
+func newCachedServer(t *testing.T, maxBytes int64, cfg Config) (*Server, *cache.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := cache.Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = store
+	return New(cfg), store, dir
+}
+
+// TestCacheHitRoundTrip is the tentpole acceptance test: a repeated
+// job is served from the cache without simulating a cycle, and every
+// deterministic field of the cached response is byte-identical to the
+// cold run's.
+func TestCacheHitRoundTrip(t *testing.T) {
+	srv, store, _ := newCachedServer(t, 0, Config{Workers: 2, QueueDepth: 8, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true, Ring: 4, Profile: true}
+	code, coldRaw, cold := postJobRaw(t, ts.URL, req)
+	if code != http.StatusOK || cold.Status != StatusOK || cold.Cached {
+		t.Fatalf("cold run: HTTP %d status %q cached=%v (%s)", code, cold.Status, cold.Cached, cold.Error)
+	}
+	cyclesAfterCold := srv.met.simCycles.Load()
+	poolAfterCold := srv.pool.Stats()
+
+	code, warmRaw, warm := postJobRaw(t, ts.URL, req)
+	if code != http.StatusOK || warm.Status != StatusOK || !warm.Cached {
+		t.Fatalf("repeat run: HTTP %d status %q cached=%v (%s)", code, warm.Status, warm.Cached, warm.Error)
+	}
+	if got, want := stripHostFields(t, warmRaw), stripHostFields(t, coldRaw); got != want {
+		t.Errorf("cached payload differs from cold run:\ncold: %s\nwarm: %s", want, got)
+	}
+	if got := srv.met.simCycles.Load(); got != cyclesAfterCold {
+		t.Errorf("cache hit simulated %d cycles, want 0", got-cyclesAfterCold)
+	}
+	if pool := srv.pool.Stats(); pool != poolAfterCold {
+		t.Errorf("cache hit touched the machine pool: %+v -> %+v", poolAfterCold, pool)
+	}
+	if hits, misses := srv.met.cacheHits.Load(), srv.met.cacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if st := store.Stats(); st.Entries != 1 {
+		t.Errorf("store holds %d entries, want 1", st.Entries)
+	}
+	if warm.ID == cold.ID || warm.ID == "" {
+		t.Errorf("cached response ID %q must be fresh (cold was %q)", warm.ID, cold.ID)
+	}
+
+	// The /metrics page reports the traffic.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := readAll(t, resp)
+	for _, series := range []string{
+		"lbp_serve_cache_hits_total 1",
+		"lbp_serve_cache_misses_total 1",
+		"lbp_serve_cache_entries 1",
+		"lbp_serve_cache_bytes",
+	} {
+		if !strings.Contains(page, series) {
+			t.Errorf("metrics page missing %q", series)
+		}
+	}
+}
+
+// TestCacheCorruptEntry: an entry that rots on disk serves as a miss —
+// the job re-simulates cold, repairs the entry, and the next repeat
+// hits again. Corruption never surfaces as an error.
+func TestCacheCorruptEntry(t *testing.T) {
+	srv, _, cacheDir := newCachedServer(t, 0, Config{Workers: 1, QueueDepth: 4, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: spinSource, Lang: "s", Cores: 1, Digest: true, MaxCycles: 20_000_000}
+	if code, _, jr := postJobRaw(t, ts.URL, req); code != http.StatusOK || jr.Cached {
+		t.Fatalf("cold run: HTTP %d cached=%v (%s)", code, jr.Cached, jr.Error)
+	}
+	files, err := filepath.Glob(filepath.Join(cacheDir, "*", "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v (err %v), want exactly 1", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte(`{"cycles": 12`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, jr := postJobRaw(t, ts.URL, req)
+	if code != http.StatusOK || jr.Status != StatusOK || jr.Cached {
+		t.Fatalf("post-corruption run: HTTP %d status %q cached=%v (%s) — corruption must mean re-simulate, not fail",
+			code, jr.Status, jr.Cached, jr.Error)
+	}
+	if code, _, jr := postJobRaw(t, ts.URL, req); code != http.StatusOK || !jr.Cached {
+		t.Errorf("post-repair run: HTTP %d cached=%v, want a hit again", code, jr.Cached)
+	}
+	if hits, misses := srv.met.cacheHits.Load(), srv.met.cacheMisses.Load(); hits != 1 || misses != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+}
+
+// TestCacheEviction: a byte-bounded cache sheds the least recently
+// used result; the evicted job simply simulates cold again.
+func TestCacheEviction(t *testing.T) {
+	// maxBytes 1: each stored payload survives only as the sole entry.
+	srv, store, _ := newCachedServer(t, 1, Config{Workers: 1, QueueDepth: 4, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqA := JobRequest{Source: spinSource, Lang: "s", Cores: 1, Digest: true, MaxCycles: 20_000_000}
+	reqB := reqA
+	reqB.MaxCycles = 30_000_000 // different budget, different content address
+	if code, _, jr := postJobRaw(t, ts.URL, reqA); code != http.StatusOK || jr.Cached {
+		t.Fatalf("job A: HTTP %d cached=%v", code, jr.Cached)
+	}
+	if code, _, jr := postJobRaw(t, ts.URL, reqB); code != http.StatusOK || jr.Cached {
+		t.Fatalf("job B: HTTP %d cached=%v", code, jr.Cached)
+	}
+	// B's store evicted A, so A is cold again.
+	if code, _, jr := postJobRaw(t, ts.URL, reqA); code != http.StatusOK || jr.Cached {
+		t.Errorf("job A after eviction: HTTP %d cached=%v, want a cold run", code, jr.Cached)
+	}
+	st := store.Stats()
+	if st.Evictions == 0 || st.Entries != 1 {
+		t.Errorf("store stats = %+v, want evictions > 0 and exactly 1 entry", st)
+	}
+	if hits := srv.met.cacheHits.Load(); hits != 0 {
+		t.Errorf("cache hits = %d, want 0 (every lookup should have missed)", hits)
+	}
+}
+
+// TestCacheConcurrentIdenticalRequests: identical jobs racing on an
+// empty cache must all answer correctly — some simulate, some hit, all
+// byte-identical in the deterministic fields. Runs under -race in
+// tier-1 to cover the concurrent Get/Put paths.
+func TestCacheConcurrentIdenticalRequests(t *testing.T) {
+	srv, store, _ := newCachedServer(t, 0, Config{Workers: 4, QueueDepth: 64, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: vecsumSource, Cores: 2, Digest: true}
+	const clients = 10
+	raws := make([][]byte, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], raws[i], _ = postJobRaw(t, ts.URL, req)
+		}(i)
+	}
+	wg.Wait()
+	want := stripHostFields(t, raws[0])
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Errorf("client %d: HTTP %d", i, codes[i])
+			continue
+		}
+		if got := stripHostFields(t, raws[i]); got != want {
+			t.Errorf("client %d payload diverged:\nwant %s\ngot  %s", i, want, got)
+		}
+	}
+	if st := store.Stats(); st.Entries != 1 {
+		t.Errorf("store holds %d entries after identical racing jobs, want 1", st.Entries)
+	}
+}
+
+// TestOversizedBody413: a request body over the configured cap answers
+// 413 Request Entity Too Large, not a generic 400.
+func TestOversizedBody413(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1, MaxBodyBytes: 256})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big, err := json.Marshal(JobRequest{Source: strings.Repeat("x", 4096), Lang: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResult
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &jr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || jr.Error == "" {
+		t.Errorf("oversized body: HTTP %d error %q, want 413 with a message", resp.StatusCode, jr.Error)
+	}
+	// A body under the cap still validates normally.
+	if code, jr := postJob(t, ts.URL, JobRequest{Source: "x", Lang: "rust"}); code != http.StatusBadRequest {
+		t.Errorf("small bad request: HTTP %d (%s), want 400", code, jr.Error)
+	}
+}
+
+// TestCanceledJobReturnsMachineToPool: a client that goes away mid-run
+// must not cost the pool its machine — GetWarm resets on checkout, so
+// the half-run machine is exactly as reusable as a finished one.
+func TestCanceledJobReturnsMachineToPool(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, Slice: 1024})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Source: spinSource, Lang: "s", Cores: 1, Digest: true, MaxCycles: 400_000_000}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelOne := func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			resp, err := http.DefaultClient.Do(hr)
+			if err == nil {
+				resp.Body.Close()
+			}
+			close(done)
+		}()
+		waitFor(t, "job running", func() bool { return srv.met.inflight.Load() == 1 })
+		cancel()
+		<-done
+		waitFor(t, "job finished", func() bool { return srv.met.inflight.Load() == 0 })
+	}
+
+	cancelOne()
+	if idle := srv.pool.Idle(); idle != 1 {
+		t.Fatalf("pool idle = %d after canceled job, want 1 (machine returned)", idle)
+	}
+	cancelOne() // the second canceled job must reuse the returned machine
+	st := srv.pool.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("pool stats = %+v, want the second canceled job served warm (1 hit, 1 miss)", st)
+	}
+	if got := srv.met.failed.Load(); got != 2 {
+		t.Errorf("failed counter = %d, want 2 canceled jobs", got)
+	}
+	if got := srv.met.poolDiscarded.Load(); got != 0 {
+		t.Errorf("pool_discarded = %d, want 0 (nothing was preempted)", got)
+	}
+}
+
+// TestDeadlineAndErrorJobsReturnMachines: the deadline and
+// budget-exceeded paths also hand their machines back.
+func TestDeadlineAndErrorJobsReturnMachines(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, Slice: 4096})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	deadline := JobRequest{Source: spinSource, Lang: "s", Cores: 1, MaxCycles: 500_000_000, DeadlineMs: 30}
+	if code, jr := postJob(t, ts.URL, deadline); code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline job: HTTP %d (%s), want 504", code, jr.Error)
+	}
+	if idle := srv.pool.Idle(); idle != 1 {
+		t.Errorf("pool idle = %d after deadline, want 1", idle)
+	}
+
+	budget := JobRequest{Source: spinSource, Lang: "s", Cores: 1, MaxCycles: 10_000}
+	code, jr := postJob(t, ts.URL, budget)
+	if code != http.StatusUnprocessableEntity || jr.Status != StatusError {
+		t.Fatalf("budget job: HTTP %d status %q (%s), want 422 error", code, jr.Status, jr.Error)
+	}
+	// Same spec key as the deadline job? No — MaxCycles differs, so this
+	// was a fresh build; what matters is both machines are idle now.
+	if idle := srv.pool.Idle(); idle != 2 {
+		t.Errorf("pool idle = %d after budget fault, want 2", idle)
+	}
+	if got := srv.met.poolDiscarded.Load(); got != 0 {
+		t.Errorf("pool_discarded = %d, want 0", got)
+	}
 }

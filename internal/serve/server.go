@@ -11,6 +11,12 @@
 // happens between Advance legs at cycle boundaries, where it cannot
 // perturb simulated state.
 //
+// Because results are pure functions of the canonical job
+// (sim.CacheKey), the server consults a content-addressed result cache
+// (internal/cache) before simulating anything: a repeat job is an O(1)
+// disk read answered with the byte-identical deterministic payload of
+// the cold run, marked "cached": true.
+//
 // Backpressure and lifecycle:
 //
 //   - Admission is a bounded queue; overflow answers 429 with
@@ -33,8 +39,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/sim"
 )
 
@@ -64,6 +72,10 @@ type Config struct {
 	// (0 = sim.DefaultPoolPerKey / sim.DefaultPoolTotal).
 	PoolPerKey int
 	PoolTotal  int
+
+	// Cache, when non-nil, is the content-addressed result store
+	// consulted before any cycle is simulated (nil = no caching).
+	Cache *cache.Store
 
 	MaxBodyBytes int64 // request body cap (0 = 8 MiB)
 
@@ -114,6 +126,7 @@ type job struct {
 	id       string
 	req      JobRequest
 	spec     sim.Spec
+	cacheKey string // content address of the result ("" = uncacheable)
 	deadline time.Duration
 	ctx      context.Context // the client's request context
 	enqueued time.Time
@@ -139,7 +152,7 @@ type Server struct {
 
 	queue  chan *job
 	wg     sync.WaitGroup // the workers
-	nextID uint64
+	nextID atomic.Uint64  // lock-free: ID allocation must not contend with admission
 
 	admitMu  sync.Mutex // guards drain + queue sends vs close
 	drain    bool
@@ -288,31 +301,84 @@ func (s *Server) runJob(j *job) {
 	s.met.runNanos.Add(uint64(elapsed))
 	s.met.simCycles.Add(sess.Machine().Cycle())
 
+	// Any machine the pool handed out goes back to it — GetWarm resets
+	// machines on checkout, so a deadline-stopped, canceled or faulted
+	// machine is exactly as reusable as a cleanly finished one, and
+	// cancel-heavy traffic keeps its warm hit rate. The one exception
+	// is shutdown preemption: the process is exiting, so returning the
+	// machine would only delay it; those count as pool_discarded.
 	switch {
 	case err == nil:
 		j.code = http.StatusOK
 		j.res.Status = StatusOK
 		j.res.fill(sess, res, j.req.Ring)
 		s.met.completed.Add(1)
-		s.pool.Put(sess) // only cleanly finished machines go back
+		s.pool.Put(sess)
+		s.storeResult(j)
 	case errors.Is(err, errPreempted):
 		s.met.preempted.Add(1)
 		j.code = http.StatusServiceUnavailable
 		j.res.Status = StatusPreempted
 		j.res.Error = s.checkpointPreempted(j, sess)
+		s.met.poolDiscarded.Add(1)
 	case errors.Is(err, errDeadline):
 		s.met.failed.Add(1)
 		j.fail(http.StatusGatewayTimeout, StatusDeadline,
 			fmt.Errorf("deadline %s elapsed at cycle %d", j.deadline, sess.Machine().Cycle()))
+		s.pool.Put(sess)
 	case errors.Is(err, errCanceled):
 		s.met.failed.Add(1)
 		j.fail(statusClientClosedRequest, StatusCanceled, errCanceled)
+		s.pool.Put(sess)
 	default:
 		// The machine itself stopped: a deterministic fault or the
 		// simulated-cycle budget. The service worked; the run did not.
 		s.met.failed.Add(1)
 		j.fail(http.StatusUnprocessableEntity, StatusError, err)
+		s.pool.Put(sess)
 	}
+}
+
+// lookupCached answers a job from the result cache. The stored payload
+// carries only the deterministic fields (host-side fields were zeroed
+// before storing), so a hit reproduces the cold run's deterministic
+// result byte for byte; the caller stamps the host-side ID. A payload
+// that does not decode as a JobResult counts as a miss and is dropped,
+// like any other corrupt entry.
+func (s *Server) lookupCached(key string) (*JobResult, bool) {
+	if payload, ok := s.cfg.Cache.Get(key); ok {
+		var res JobResult
+		if err := json.Unmarshal(payload, &res); err == nil {
+			res.Cached = true
+			s.met.cacheHits.Add(1)
+			return &res, true
+		}
+		s.cfg.Cache.Remove(key)
+	}
+	s.met.cacheMisses.Add(1)
+	return nil, false
+}
+
+// storeResult saves a cleanly finished job's deterministic payload
+// under its content address. Host-side fields are zeroed first so
+// every future hit returns exactly the deterministic fields of this
+// run. Concurrent identical jobs race benignly: they store identical
+// bytes and the cache write is atomic (last-write-wins).
+func (s *Server) storeResult(j *job) {
+	if s.cfg.Cache == nil || j.cacheKey == "" {
+		return
+	}
+	payload := j.res
+	payload.ID, payload.Checkpoint = "", ""
+	payload.Cached, payload.PoolWarm = false, false
+	payload.QueueMs, payload.RunMs = 0, 0
+	b, err := json.Marshal(&payload)
+	if err != nil {
+		return
+	}
+	// A failed store is a full cache miss next time — worth no more
+	// than the re-simulation it costs.
+	_ = s.cfg.Cache.Put(j.cacheKey, b)
 }
 
 // checkpointPreempted serializes a preempted job's machine state and
@@ -335,11 +401,19 @@ func (s *Server) checkpointPreempted(j *job, sess *sim.Session) string {
 	return fmt.Sprintf("preempted by shutdown at cycle %d; resume with lbp-run -resume %s", cycle, path)
 }
 
-// handleJobs admits one job and answers with its JobResult.
+// handleJobs admits one job and answers with its JobResult — or, for a
+// repeat job, answers from the result cache without consuming a queue
+// slot or simulating a cycle.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -365,17 +439,30 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("program: %w", err))
 		return
 	}
+	spec := sim.Spec{
+		Program:         prog,
+		Cores:           req.Cores,
+		SharedBankBytes: req.BankBytes,
+		MaxCycles:       maxCycles,
+		Trace:           sim.TraceSpec{Digest: req.Digest, Ring: req.Ring},
+		Profile:         req.Profile,
+	}
+	var cacheKey string
+	if s.cfg.Cache != nil {
+		if key, err := sim.CacheKey(spec); err == nil {
+			cacheKey = key
+			if res, ok := s.lookupCached(key); ok {
+				res.ID = fmt.Sprintf("job-%06d", s.jobID())
+				writeJSON(w, http.StatusOK, res)
+				return
+			}
+		}
+	}
 	j := &job{
-		id:  fmt.Sprintf("job-%06d", s.jobID()),
-		req: req,
-		spec: sim.Spec{
-			Program:         prog,
-			Cores:           req.Cores,
-			SharedBankBytes: req.BankBytes,
-			MaxCycles:       maxCycles,
-			Trace:           sim.TraceSpec{Digest: req.Digest, Ring: req.Ring},
-			Profile:         req.Profile,
-		},
+		id:       fmt.Sprintf("job-%06d", s.jobID()),
+		req:      req,
+		spec:     spec,
+		cacheKey: cacheKey,
 		deadline: deadline,
 		ctx:      r.Context(),
 		enqueued: time.Now(),
@@ -396,12 +483,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 // jobID hands out monotonically increasing job numbers.
-func (s *Server) jobID() uint64 {
-	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
-	s.nextID++
-	return s.nextID
-}
+func (s *Server) jobID() uint64 { return s.nextID.Add(1) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining() {
@@ -414,7 +496,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writePrometheus(w, s.pool.Stats(), s.pool.Idle())
+	var cs cache.Stats
+	if s.cfg.Cache != nil {
+		cs = s.cfg.Cache.Stats()
+	}
+	s.met.writePrometheus(w, s.pool.Stats(), s.pool.Idle(), cs)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

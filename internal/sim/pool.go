@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"repro/internal/asm"
 	"repro/internal/lbp"
 )
 
@@ -43,11 +44,15 @@ const (
 // PoolStats counts pool traffic. Hits are Gets served by a warm
 // machine, Misses are Gets that built a fresh one (including sessions
 // with devices, which always bypass the pool), Evictions are idle
-// sessions dropped to respect the capacity bounds.
+// sessions dropped to respect the capacity bounds. ResetFailures are
+// warm machines that refused their Reset on checkout; each one is
+// dropped and replaced by a cold build, and the Get recounts as a
+// miss.
 type PoolStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	ResetFailures uint64
 }
 
 // pooled is one idle session with its admission sequence number; seq
@@ -79,6 +84,10 @@ type Pool struct {
 	perKey int // 0 = DefaultPoolPerKey
 	total  int // 0 = DefaultPoolTotal
 	stats  PoolStats
+
+	// resetHook, when non-nil, replaces Session.Reset on warm
+	// checkout; tests use it to force reset failures.
+	resetHook func(*Session, *asm.Program) error
 }
 
 // SetCapacity bounds the idle sessions kept per configuration and in
@@ -152,7 +161,10 @@ func (p *Pool) Get(spec Spec) (*Session, error) {
 }
 
 // GetWarm is Get, also reporting whether the session came from the pool
-// (warm = a reset machine was reused rather than built).
+// (warm = a reset machine was reused rather than built). A warm machine
+// whose Reset fails is dropped — the Get recounts as a miss, builds a
+// cold machine instead, and bumps ResetFailures — so one bad pooled
+// machine never kills the job it happened to be handed to.
 func (p *Pool) GetWarm(spec Spec) (*Session, bool, error) {
 	if len(spec.Devices) > 0 {
 		p.mu.Lock()
@@ -163,6 +175,7 @@ func (p *Pool) GetWarm(spec Spec) (*Session, bool, error) {
 	}
 	key := specKey(&spec, spec.machineConfig())
 	p.mu.Lock()
+	reset := p.resetHook
 	var s *Session
 	if list := p.free[key]; len(list) > 0 {
 		s = list[len(list)-1].s
@@ -174,19 +187,28 @@ func (p *Pool) GetWarm(spec Spec) (*Session, bool, error) {
 			p.free[key] = list
 		}
 		p.count--
-		p.stats.Hits++
-	} else {
-		p.stats.Misses++
 	}
 	p.mu.Unlock()
-	if s == nil {
-		s, err := New(spec)
-		return s, false, err
+	if reset == nil {
+		reset = (*Session).Reset
 	}
-	if err := s.Reset(spec.Program); err != nil {
-		return nil, false, err
+	if s != nil {
+		err := reset(s, spec.Program)
+		if err == nil {
+			p.mu.Lock()
+			p.stats.Hits++
+			p.mu.Unlock()
+			return s, true, nil
+		}
+		p.mu.Lock()
+		p.stats.ResetFailures++
+		p.mu.Unlock()
 	}
-	return s, true, nil
+	p.mu.Lock()
+	p.stats.Misses++
+	p.mu.Unlock()
+	s, err := New(spec)
+	return s, false, err
 }
 
 // Put returns a finished session to the pool, evicting the oldest idle

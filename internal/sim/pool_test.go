@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -182,5 +183,51 @@ func TestPoolBoundUnderConcurrentGetPut(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Error("no warm reuse under churn")
+	}
+}
+
+// TestPoolResetFailureFallsBackCold: a warm machine whose Reset fails
+// must not kill the job — the pool drops it, builds a cold machine,
+// counts the Get as a miss, and bumps ResetFailures.
+func TestPoolResetFailureFallsBackCold(t *testing.T) {
+	prog := exitProgram(t)
+	spec := tinySpec(prog, 10_000)
+	var p Pool
+	warmed, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(warmed)
+
+	p.resetHook = func(s *Session, prog *asm.Program) error {
+		return fmt.Errorf("forced reset failure")
+	}
+	s, warm, err := p.GetWarm(spec)
+	if err != nil {
+		t.Fatalf("GetWarm after reset failure: %v (the job must survive)", err)
+	}
+	if warm || s == warmed {
+		t.Errorf("warm=%v session=%p, want a cold build distinct from %p", warm, s, warmed)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Errorf("cold fallback session does not run: %v", err)
+	}
+	st := p.Stats()
+	if st.ResetFailures != 1 || st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 reset failure, 0 hits, 2 misses", st)
+	}
+	if got := p.Idle(); got != 0 {
+		t.Errorf("idle = %d, want 0 (the bad machine must be dropped)", got)
+	}
+
+	// With the hook cleared the pool behaves normally again.
+	p.resetHook = nil
+	p.Put(s)
+	again, warm, err := p.GetWarm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm || again != s {
+		t.Errorf("recovery get: warm=%v session=%p, want warm %p", warm, again, s)
 	}
 }

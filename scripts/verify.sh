@@ -23,14 +23,16 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./cmd/lbp-bench
+go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./internal/cache ./cmd/lbp-bench
 
-# Smoke-test the serving daemon over real HTTP: ephemeral port, one
-# job, /healthz, then a clean SIGTERM drain.
+# Smoke-test the serving daemon over real HTTP: ephemeral port, the
+# same job twice (the repeat must be a cache hit with an identical
+# digest), /healthz, then a clean SIGTERM drain.
 smokedir=$(mktemp -d)
 trap 'kill "$servepid" 2>/dev/null || true; rm -rf "$smokedir"' EXIT INT TERM
 go build -o "$smokedir/lbp-serve" ./cmd/lbp-serve
 "$smokedir/lbp-serve" -addr 127.0.0.1:0 -addrfile "$smokedir/addr" \
+    -cachedir "$smokedir/cache" \
     >"$smokedir/serve.log" 2>&1 &
 servepid=$!
 i=0
@@ -50,7 +52,21 @@ curl -fsS -X POST "http://$addr/jobs" \
     >"$smokedir/job.json"
 grep -q '"status": "ok"' "$smokedir/job.json"
 grep -q '"halt": "exit"' "$smokedir/job.json"
-curl -fsS "http://$addr/metrics" | grep -q '^lbp_serve_jobs_completed_total 1$'
+# The identical job again: served from the result cache (no second
+# completion), byte-identical digest, marked cached.
+curl -fsS -X POST "http://$addr/jobs" \
+    -d '{"source":"main:\n\tli ra, 0\n\tli t0, -1\n\tp_ret\n","lang":"s","cores":1,"digest":true}' \
+    >"$smokedir/job2.json"
+grep -q '"cached": true' "$smokedir/job2.json"
+digest1=$(grep '"digest"' "$smokedir/job.json")
+digest2=$(grep '"digest"' "$smokedir/job2.json")
+if [ "$digest1" != "$digest2" ] || [ -z "$digest1" ]; then
+    echo "cached digest mismatch: '$digest1' vs '$digest2'" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/metrics" >"$smokedir/metrics.txt"
+grep -q '^lbp_serve_jobs_completed_total 1$' "$smokedir/metrics.txt"
+grep -q '^lbp_serve_cache_hits_total 1$' "$smokedir/metrics.txt"
 kill -TERM "$servepid"
 wait "$servepid"
 grep -q "drained" "$smokedir/serve.log"
