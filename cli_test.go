@@ -580,6 +580,90 @@ func TestCLIServeSmoke(t *testing.T) {
 	}
 }
 
+// TestCLICCBankValidation: lbp-cc promises a power-of-two -bank, like
+// lbp-run; a bad -bank or an oversized -reserve must be a usage error
+// instead of a silent uint32 truncation.
+func TestCLICCBankValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbpcc := buildTool(t, dir, "lbp-cc")
+	for _, args := range [][]string{
+		{"-bank", "12345", "testdata/vecsum.c"},
+		{"-bank", "0", "testdata/vecsum.c"},
+		{"-bank", "4294967296", "testdata/vecsum.c"},
+		{"-bank", "8192", "-reserve", "8192", "testdata/vecsum.c"},
+	} {
+		out, err := exec.Command(lbpcc, args...).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("%v: err = %v, want exit code 2\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), "must be") {
+			t.Errorf("%v error message: %s", args, out)
+		}
+	}
+	// A valid bank/reserve pair still compiles.
+	out := runTool(t, lbpcc, "-cores", "2", "-bank", "32768", "-reserve", "4096", "testdata/vecsum.c")
+	if !strings.Contains(out, "LBP_parallel_start") {
+		t.Errorf("valid -bank compile: %.300s", out)
+	}
+}
+
+// TestCLIBenchProfileCloseError: a -memprofile that cannot be written
+// must be reported and make the run exit 1 — not silently leave a
+// truncated or missing profile behind next to a zero exit status.
+func TestCLIBenchProfileCloseError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "lbp-bench")
+	// The profile path is a directory: os.Create fails after the figure
+	// has otherwise completed successfully.
+	out, err := exec.Command(bench, "-fig", "locality", "-outdir", dir, "-memprofile", dir).CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("-memprofile <dir>: err = %v, want exit code 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-memprofile") {
+		t.Errorf("error message must name the flag:\n%s", out)
+	}
+	// A writable path keeps the run green and leaves a non-empty profile.
+	prof := filepath.Join(dir, "mem.pb.gz")
+	runTool(t, bench, "-fig", "locality", "-outdir", dir, "-memprofile", prof)
+	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+		t.Errorf("profile not written: %v", err)
+	}
+}
+
+// TestCLIFuzzSmoke: a tiny fixed-seed lbp-fuzz campaign must complete
+// with zero divergences and a summary line; bad flags are usage errors.
+func TestCLIFuzzSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbpfuzz := buildTool(t, dir, "lbp-fuzz")
+	out := runTool(t, lbpfuzz, "-n", "5", "-seed", "1", "-crashdir", filepath.Join(dir, "crashes"))
+	if !strings.Contains(out, "5 programs") || !strings.Contains(out, "0 failures") {
+		t.Errorf("summary: %s", out)
+	}
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-workers", "1,x"},
+		{"-ffwd", "sometimes"},
+		{"-maxcores", "0"},
+	} {
+		out, err := exec.Command(lbpfuzz, args...).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("%v: err = %v, want exit code 2\n%s", args, err, out)
+		}
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -85,6 +85,15 @@ func main() {
 	figures.Profile = *profile
 	figures.SimWorkers = *simWorkers
 	figures.RecordThroughput = true
+	// A profile that fails to flush or close is silently truncated and
+	// useless; report the error and make the run exit nonzero. The exit
+	// check is registered first so it runs after every profile defer.
+	profileErr := false
+	defer func() {
+		if profileErr {
+			os.Exit(1)
+		}
+	}()
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -95,7 +104,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lbp-bench: -cpuprofile: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lbp-bench: -cpuprofile: close: %v\n", err)
+				profileErr = true
+			}
+		}()
 		defer pprof.StopCPUProfile() // LIFO: stop (and flush) before closing f
 	}
 	if *memProfile != "" {
@@ -103,12 +117,17 @@ func main() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lbp-bench: -memprofile: %v\n", err)
+				profileErr = true
 				return
 			}
-			defer f.Close()
 			runtime.GC() // settle live heap before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "lbp-bench: -memprofile: %v\n", err)
+				profileErr = true
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lbp-bench: -memprofile: close: %v\n", err)
+				profileErr = true
 			}
 		}()
 	}

@@ -1,5 +1,7 @@
 package cc
 
+import "math"
+
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
 	toks    []Token
@@ -351,13 +353,23 @@ func (p *parser) parseConstExpr() (int64, error) {
 	return v, nil
 }
 
-// foldConst evaluates a constant expression at compile time.
+// foldConst evaluates a constant expression at compile time. Every
+// intermediate result is truncated to int32, because that is what the
+// RV32IM machine computes at run time: folding in a wider type would
+// let an overflowed subexpression (e.g. 2000000000 + 2000000000) feed
+// a comparison, shift or division with a value the hardware never
+// sees. Found by the determinism fuzzer (testdata/fuzz/fold-*.c).
 func foldConst(e *Expr) (int64, bool) {
+	v, ok := foldConst32(e)
+	return int64(v), ok
+}
+
+func foldConst32(e *Expr) (int32, bool) {
 	switch e.Kind {
 	case ENum:
-		return e.Num, true
+		return int32(e.Num), true
 	case EUnary:
-		v, ok := foldConst(e.Lhs)
+		v, ok := foldConst32(e.Lhs)
 		if !ok {
 			return 0, false
 		}
@@ -374,8 +386,8 @@ func foldConst(e *Expr) (int64, bool) {
 		}
 		return 0, false
 	case EBinary:
-		a, ok1 := foldConst(e.Lhs)
-		b, ok2 := foldConst(e.Rhs)
+		a, ok1 := foldConst32(e.Lhs)
+		b, ok2 := foldConst32(e.Rhs)
 		if !ok1 || !ok2 {
 			return 0, false
 		}
@@ -388,18 +400,26 @@ func foldConst(e *Expr) (int64, bool) {
 			return a * b, true
 		case "/":
 			if b == 0 {
+				// The machine defines x/0 = -1, but refusing to fold
+				// keeps division-by-zero visible in the emitted code.
 				return 0, false
+			}
+			if a == math.MinInt32 && b == -1 {
+				return math.MinInt32, true // RV32IM overflow case
 			}
 			return a / b, true
 		case "%":
 			if b == 0 {
 				return 0, false
 			}
+			if a == math.MinInt32 && b == -1 {
+				return 0, true // RV32IM overflow case
+			}
 			return a % b, true
 		case "<<":
-			return a << uint(b&31), true
+			return a << (uint32(b) & 31), true
 		case ">>":
-			return a >> uint(b&31), true
+			return a >> (uint32(b) & 31), true
 		case "&":
 			return a & b, true
 		case "|":
@@ -424,19 +444,19 @@ func foldConst(e *Expr) (int64, bool) {
 			return b2i(a != 0 || b != 0), true
 		}
 	case ECond:
-		c, ok := foldConst(e.Lhs)
+		c, ok := foldConst32(e.Lhs)
 		if !ok {
 			return 0, false
 		}
 		if c != 0 {
-			return foldConst(e.Rhs)
+			return foldConst32(e.Rhs)
 		}
-		return foldConst(e.Third)
+		return foldConst32(e.Third)
 	}
 	return 0, false
 }
 
-func b2i(b bool) int64 {
+func b2i(b bool) int32 {
 	if b {
 		return 1
 	}

@@ -1,0 +1,78 @@
+package fuzzgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The regression corpus: every minimized fuzzer finding is checked in
+// as a <name>.c MiniC source plus a <name>.json sidecar holding the
+// reference-evaluator expectation, and replayed as a deterministic
+// unit test (internal/fuzzgen/corpus_test.go) on every tier-1 run.
+
+// CorpusEntry is the sidecar metadata of one corpus program.
+type CorpusEntry struct {
+	// Seed reproduces the originating (pre-shrink) program via
+	// Generate; 0 for hand-written entries.
+	Seed int64 `json:"seed,omitempty"`
+	// MinCores is the smallest machine the program targets.
+	MinCores int `json:"min_cores"`
+	// Expect maps every checked global to its reference final value
+	// (one element for scalars).
+	Expect map[string][]int32 `json:"expect"`
+}
+
+// WriteCorpus writes p as dir/name.c + dir/name.json.
+func WriteCorpus(dir, name string, p *Prog) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	entry := CorpusEntry{Seed: p.Seed, MinCores: p.MinCores, Expect: p.Eval()}
+	meta, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		return err
+	}
+	meta = append(meta, '\n')
+	if err := os.WriteFile(filepath.Join(dir, name+".c"), []byte(p.Render()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".json"), meta, 0o644)
+}
+
+// ReplayFile checks one corpus program (path to the .c file; the .json
+// sidecar sits next to it) across the full execution matrix.
+func ReplayFile(path string, opt CheckOptions) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	meta, err := os.ReadFile(strings.TrimSuffix(path, ".c") + ".json")
+	if err != nil {
+		return err
+	}
+	var entry CorpusEntry
+	if err := json.Unmarshal(meta, &entry); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if entry.MinCores < 1 {
+		entry.MinCores = 1
+	}
+	if _, f := CheckSource(string(src), entry.MinCores, entry.Expect, opt); f != nil {
+		return fmt.Errorf("%s: %v", path, f)
+	}
+	return nil
+}
+
+// CorpusFiles lists the .c programs of a corpus directory, sorted.
+func CorpusFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,202 @@
+package fuzzgen
+
+import "math"
+
+// The reference evaluator: sequential C semantics over int32, with the
+// RV32IM edge cases the machine implements (shift amounts masked to 5
+// bits, x/0 = -1, x%0 = x, INT_MIN/-1 = INT_MIN rem 0). Parallel
+// constructs are race-free by construction, so evaluating them in
+// iteration (or section) order is exactly the value every schedule of
+// the deterministic machine must produce.
+
+// State is the final memory image of a program: one entry per global
+// (length 1 for scalars).
+type State map[string][]int32
+
+// Eval runs the program sequentially and returns the final state of
+// every global.
+func (p *Prog) Eval() State {
+	ev := &evaluator{state: make(State, len(p.Globals)), loops: map[string]int32{}}
+	for _, g := range p.Globals {
+		n := g.Len
+		if n == 0 {
+			n = 1
+		}
+		vals := make([]int32, n)
+		copy(vals, g.Init)
+		ev.state[g.Name] = vals
+	}
+	ev.stmts(p.Stmts)
+	return ev.state
+}
+
+type evaluator struct {
+	state State
+	loops map[string]int32
+}
+
+func (ev *evaluator) stmts(list []Stmt) {
+	for _, s := range list {
+		ev.stmt(s)
+	}
+}
+
+func (ev *evaluator) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Assign:
+		cell := ev.state[s.Name]
+		cell[0] = applyAssign(s.Op, cell[0], ev.expr(s.E))
+	case *Store:
+		arr := ev.state[s.Name]
+		var i int32
+		if s.Idx == nil {
+			i = ev.loops[s.Loop]
+		} else {
+			i = ev.expr(s.Idx) & s.Mask
+		}
+		arr[i] = applyAssign(s.Op, arr[i], ev.expr(s.E))
+	case *If:
+		if ev.expr(s.Cond) != 0 {
+			ev.stmts(s.Then)
+		} else {
+			ev.stmts(s.Else)
+		}
+	case *SeqFor:
+		for i := 0; i < s.N; i++ {
+			ev.loops[s.Var] = int32(i)
+			ev.stmts(s.Body)
+		}
+		delete(ev.loops, s.Var)
+	case *ParFor:
+		// Sequential iteration order; see the package comment for why
+		// this equals every parallel schedule.
+		for k := 0; k < s.Trip; k++ {
+			ev.loops[s.Var] = int32(s.Lo + k)
+			for _, w := range s.Writes {
+				ev.stmt(w)
+			}
+			if s.Red != nil {
+				cell := ev.state[s.Red.Name]
+				cell[0] = applyBin(s.Red.Op, cell[0], ev.expr(s.Red.E))
+			}
+		}
+		delete(ev.loops, s.Var)
+	case *Sections:
+		for _, sec := range s.Secs {
+			ev.stmt(sec)
+		}
+	}
+}
+
+func (ev *evaluator) expr(e *Expr) int32 {
+	switch e.Kind {
+	case ENum:
+		return e.Num
+	case EScalar:
+		return ev.state[e.Name][0]
+	case ELoop:
+		return ev.loops[e.Name]
+	case EIndex:
+		arr := ev.state[e.Name]
+		var i int32
+		if e.Idx == nil {
+			i = ev.loops[e.Loop]
+		} else {
+			i = ev.expr(e.Idx) & e.Mask
+		}
+		return arr[i]
+	case EUnary:
+		v := ev.expr(e.X)
+		switch e.Op {
+		case "-":
+			return -v
+		case "~":
+			return ^v
+		case "!":
+			if v == 0 {
+				return 1
+			}
+			return 0
+		}
+	case EBinary:
+		// All operands are pure, so evaluating both sides of && and ||
+		// matches short-circuit semantics.
+		return applyBin(e.Op, ev.expr(e.X), ev.expr(e.Y))
+	case ECond:
+		if ev.expr(e.X) != 0 {
+			return ev.expr(e.Y)
+		}
+		return ev.expr(e.Z)
+	}
+	panic("fuzzgen: unknown expression kind")
+}
+
+// applyAssign applies an assignment operator to the old value.
+func applyAssign(op string, old, v int32) int32 {
+	if op == "=" {
+		return v
+	}
+	return applyBin(op[:len(op)-1], old, v)
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// applyBin is the int32 machine semantics of one binary operator.
+func applyBin(op string, l, r int32) int32 {
+	switch op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<":
+		return b2i(l < r)
+	case ">":
+		return b2i(l > r)
+	case "<=":
+		return b2i(l <= r)
+	case ">=":
+		return b2i(l >= r)
+	case "==":
+		return b2i(l == r)
+	case "!=":
+		return b2i(l != r)
+	case "&&":
+		return b2i(l != 0 && r != 0)
+	case "||":
+		return b2i(l != 0 || r != 0)
+	case "<<":
+		return l << (uint32(r) & 31)
+	case ">>":
+		return l >> (uint32(r) & 31)
+	case "/":
+		if r == 0 {
+			return -1 // RV32IM div-by-zero
+		}
+		if l == math.MinInt32 && r == -1 {
+			return math.MinInt32 // RV32IM overflow
+		}
+		return l / r
+	case "%":
+		if r == 0 {
+			return l
+		}
+		if l == math.MinInt32 && r == -1 {
+			return 0
+		}
+		return l % r
+	}
+	panic("fuzzgen: unknown operator " + op)
+}

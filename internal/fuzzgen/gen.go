@@ -1,0 +1,448 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig tunes the program generator. The zero value picks
+// everything randomly with the defaults below.
+type GenConfig struct {
+	// MinCores pins the smallest machine the program targets (1, 2 or
+	// 4); 0 chooses randomly. Team sizes never exceed 4*MinCores harts
+	// and __bank placements stay below MinCores.
+	MinCores int
+	// MaxStmts bounds the top-level statement count (0 = 8).
+	MaxStmts int
+}
+
+// Generate builds one random program from the seed. The same seed and
+// config always produce the identical program.
+func Generate(seed int64, cfg GenConfig) *Prog {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	p := &Prog{Seed: seed, MinCores: cfg.MinCores}
+	if p.MinCores == 0 {
+		p.MinCores = []int{1, 2, 2, 4}[g.rng.Intn(4)]
+	}
+	g.p = p
+	g.genGlobals()
+	max := cfg.MaxStmts
+	if max <= 0 {
+		max = 8
+	}
+	n := 3 + g.rng.Intn(max-2)
+	for i := 0; i < n; i++ {
+		p.Stmts = append(p.Stmts, g.genStmt(2, nil, true))
+	}
+	if !hasParallel(p.Stmts) {
+		// Every program exercises at least one parallel construct:
+		// that is the point of a determinism fuzzer.
+		p.Stmts = append(p.Stmts, g.genParFor(nil))
+	}
+	return p
+}
+
+type gen struct {
+	rng   *rand.Rand
+	p     *Prog
+	loopN int
+}
+
+func hasParallel(list []Stmt) bool {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ParFor, *Sections:
+			return true
+		case *SeqFor:
+			if hasParallel(s.Body) {
+				return true
+			}
+		case *If:
+			if hasParallel(s.Then) || hasParallel(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- globals --------------------------------------------------------------
+
+var arrayLens = []int{4, 8, 16}
+
+func (g *gen) genGlobals() {
+	nScalars := 2 + g.rng.Intn(4)
+	nArrays := 2 + g.rng.Intn(3)
+	for i := 0; i < nScalars; i++ {
+		gl := &Global{Name: fmt.Sprintf("g%d", i), Bank: -1}
+		if g.rng.Intn(2) == 0 {
+			gl.Init = []int32{g.genConst()}
+		}
+		g.p.Globals = append(g.p.Globals, gl)
+	}
+	for i := 0; i < nArrays; i++ {
+		gl := &Global{Name: fmt.Sprintf("a%d", i), Bank: -1,
+			Len: arrayLens[g.rng.Intn(len(arrayLens))]}
+		if g.p.MinCores > 1 && g.rng.Intn(3) == 0 {
+			gl.Bank = g.rng.Intn(g.p.MinCores)
+		}
+		if g.rng.Intn(2) == 0 {
+			gl.Init = make([]int32, gl.Len)
+			for j := range gl.Init {
+				gl.Init[j] = g.genConst()
+			}
+		}
+		g.p.Globals = append(g.p.Globals, gl)
+	}
+}
+
+// genConst picks an initial or literal value: usually small, with an
+// occasional 32-bit extreme so constant folding and wraparound paths
+// get exercised.
+func (g *gen) genConst() int32 {
+	switch g.rng.Intn(8) {
+	case 0:
+		return []int32{math.MinInt32, math.MaxInt32, -1, 0, 1,
+			2000000000, -2000000000, 1 << 30}[g.rng.Intn(8)]
+	default:
+		return int32(g.rng.Intn(2001) - 1000)
+	}
+}
+
+func (g *gen) scalars() []*Global {
+	var out []*Global
+	for _, gl := range g.p.Globals {
+		if !gl.IsArray() {
+			out = append(out, gl)
+		}
+	}
+	return out
+}
+
+func (g *gen) arrays() []*Global {
+	var out []*Global
+	for _, gl := range g.p.Globals {
+		if gl.IsArray() {
+			out = append(out, gl)
+		}
+	}
+	return out
+}
+
+// ---- statements -----------------------------------------------------------
+
+var assignOps = []string{"=", "=", "=", "+=", "-=", "*=", "&=", "|=", "^="}
+
+// genStmt emits one statement. depth bounds nesting of sequential
+// control flow; loops are the sequential loop variables in scope
+// (readable by sequential expressions only); top marks main's
+// top-level statement list, the only place parallel sections go.
+func (g *gen) genStmt(depth int, loops []string, top bool) Stmt {
+	ctx := g.seqCtx(loops)
+	r := g.rng.Intn(100)
+	switch {
+	case r < 30:
+		return g.genAssign(ctx)
+	case r < 45:
+		return g.genStore(ctx)
+	case r < 55 && depth > 0:
+		return g.genIf(depth, loops)
+	case r < 70 && depth > 0:
+		return g.genSeqFor(depth, loops)
+	case r < 85:
+		return g.genParFor(loops)
+	case top:
+		if s := g.genSections(); s != nil {
+			return s
+		}
+		return g.genAssign(ctx)
+	default:
+		return g.genParFor(loops)
+	}
+}
+
+func (g *gen) genAssign(ctx *exprCtx) *Assign {
+	sc := g.scalars()
+	dst := sc[g.rng.Intn(len(sc))]
+	return &Assign{Name: dst.Name, Op: assignOps[g.rng.Intn(len(assignOps))],
+		E: g.genExpr(ctx, 1+g.rng.Intn(3))}
+}
+
+func (g *gen) genStore(ctx *exprCtx) *Store {
+	ar := g.arrays()
+	dst := ar[g.rng.Intn(len(ar))]
+	return &Store{Name: dst.Name, Mask: int32(dst.Len - 1),
+		Idx: g.genExpr(ctx, 1), Op: assignOps[g.rng.Intn(len(assignOps))],
+		E: g.genExpr(ctx, 1+g.rng.Intn(3))}
+}
+
+func (g *gen) genIf(depth int, loops []string) *If {
+	ctx := g.seqCtx(loops)
+	s := &If{Cond: g.genExpr(ctx, 2)}
+	for i, n := 0, 1+g.rng.Intn(2); i < n; i++ {
+		s.Then = append(s.Then, g.genSeqInner(depth-1, loops))
+	}
+	if g.rng.Intn(2) == 0 {
+		for i, n := 0, 1+g.rng.Intn(2); i < n; i++ {
+			s.Else = append(s.Else, g.genSeqInner(depth-1, loops))
+		}
+	}
+	return s
+}
+
+// genSeqInner picks a statement allowed inside if/for bodies.
+func (g *gen) genSeqInner(depth int, loops []string) Stmt {
+	ctx := g.seqCtx(loops)
+	r := g.rng.Intn(100)
+	switch {
+	case r < 40:
+		return g.genAssign(ctx)
+	case r < 70:
+		return g.genStore(ctx)
+	case r < 80 && depth > 0:
+		return g.genSeqFor(depth, loops)
+	case r < 90 && depth > 0:
+		return g.genIf(depth, loops)
+	default:
+		return g.genParFor(loops)
+	}
+}
+
+func (g *gen) genSeqFor(depth int, loops []string) *SeqFor {
+	v := g.newLoopVar()
+	s := &SeqFor{Var: v, N: 2 + g.rng.Intn(8)}
+	inner := append(append([]string(nil), loops...), v)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		s.Body = append(s.Body, g.genSeqInner(depth-1, inner))
+	}
+	return s
+}
+
+func (g *gen) newLoopVar() string {
+	g.loopN++
+	return fmt.Sprintf("i%d", g.loopN)
+}
+
+// genParFor builds a race-free parallel loop. Outer sequential loop
+// variables are main locals the outlined body cannot capture, so body
+// expressions see only the loop's own variable.
+func (g *gen) genParFor(loops []string) *ParFor {
+	_ = loops // documented: deliberately not readable inside the region
+	v := g.newLoopVar()
+	lo := 0
+	if g.rng.Intn(4) == 0 {
+		lo = 1 + g.rng.Intn(2)
+	}
+	// Write targets: 1-2 distinct arrays long enough for [lo, lo+trip).
+	ar := g.arrays()
+	dst := ar[g.rng.Intn(len(ar))]
+	maxTrip := 4 * g.p.MinCores
+	if m := dst.Len - lo; m < maxTrip {
+		maxTrip = m
+	}
+	trip := 1 + g.rng.Intn(maxTrip)
+	writeSet := map[string]bool{dst.Name: true}
+	writes := []*Global{dst}
+	if g.rng.Intn(2) == 0 {
+		for _, cand := range g.rng.Perm(len(ar)) {
+			a := ar[cand]
+			if !writeSet[a.Name] && a.Len >= lo+trip {
+				writeSet[a.Name] = true
+				writes = append(writes, a)
+				break
+			}
+		}
+	}
+	s := &ParFor{Var: v, Lo: lo, Trip: trip}
+
+	// Reduction: one scalar, excluded from every body expression
+	// (references to it are privatized by the OpenMP transform).
+	var redVar string
+	if g.rng.Intn(5) < 2 {
+		sc := g.scalars()
+		red := sc[g.rng.Intn(len(sc))]
+		redVar = red.Name
+		s.Red = &Reduction{Name: red.Name,
+			Op: []string{"+", "+", "*", "&", "|", "^"}[g.rng.Intn(6)]}
+	}
+
+	ctx := &exprCtx{loops: []string{v}, ownLoop: v}
+	for _, gl := range g.p.Globals {
+		switch {
+		case !gl.IsArray():
+			if gl.Name != redVar {
+				ctx.scalars = append(ctx.scalars, gl.Name)
+			}
+		case writeSet[gl.Name]:
+			ctx.ownArrs = append(ctx.ownArrs, gl)
+		default:
+			ctx.randArrs = append(ctx.randArrs, gl)
+			if gl.Len >= lo+trip {
+				ctx.ownArrs = append(ctx.ownArrs, gl)
+			}
+		}
+	}
+	for _, w := range writes {
+		s.Writes = append(s.Writes, &Store{Name: w.Name, Mask: int32(w.Len - 1),
+			Loop: v, Op: assignOps[g.rng.Intn(len(assignOps))],
+			E: g.genExpr(ctx, 1+g.rng.Intn(3))})
+	}
+	if s.Red != nil {
+		s.Red.E = g.genExpr(ctx, 1+g.rng.Intn(3))
+	}
+	return s
+}
+
+// genSections builds parallel sections with pairwise-disjoint scalar
+// targets; expressions read only scalars no section writes (plus any
+// array). Returns nil when too few scalars exist.
+func (g *gen) genSections() *Sections {
+	sc := g.scalars()
+	max := len(sc)
+	if max > 4 {
+		max = 4
+	}
+	if m := 4 * g.p.MinCores; max > m {
+		max = m
+	}
+	if max < 2 {
+		return nil
+	}
+	n := 2 + g.rng.Intn(max-1)
+	perm := g.rng.Perm(len(sc))
+	written := map[string]bool{}
+	var dsts []*Global
+	for _, i := range perm[:n] {
+		written[sc[i].Name] = true
+		dsts = append(dsts, sc[i])
+	}
+	ctx := &exprCtx{randArrs: g.arrays()}
+	for _, gl := range sc {
+		if !written[gl.Name] {
+			ctx.scalars = append(ctx.scalars, gl.Name)
+		}
+	}
+	s := &Sections{}
+	for _, d := range dsts {
+		s.Secs = append(s.Secs, &Assign{Name: d.Name, Op: "=",
+			E: g.genExpr(ctx, 1+g.rng.Intn(3))})
+	}
+	return s
+}
+
+// seqCtx is the expression context of sequential code: everything is
+// readable.
+func (g *gen) seqCtx(loops []string) *exprCtx {
+	ctx := &exprCtx{loops: loops}
+	for _, gl := range g.p.Globals {
+		if gl.IsArray() {
+			ctx.randArrs = append(ctx.randArrs, gl)
+		} else {
+			ctx.scalars = append(ctx.scalars, gl.Name)
+		}
+	}
+	return ctx
+}
+
+// ---- expressions ----------------------------------------------------------
+
+// exprCtx lists what an expression may read.
+type exprCtx struct {
+	loops    []string  // readable loop variables
+	scalars  []string  // readable scalar globals
+	randArrs []*Global // arrays readable at any (masked) index
+	ownArrs  []*Global // arrays readable at the own element [ownLoop]
+	ownLoop  string
+}
+
+func (g *gen) genLeaf(ctx *exprCtx) *Expr {
+	for {
+		switch g.rng.Intn(5) {
+		case 0:
+			return &Expr{Kind: ENum, Num: g.genConst()}
+		case 1:
+			if len(ctx.loops) > 0 {
+				return &Expr{Kind: ELoop, Name: ctx.loops[g.rng.Intn(len(ctx.loops))]}
+			}
+		case 2:
+			if len(ctx.scalars) > 0 {
+				return &Expr{Kind: EScalar, Name: ctx.scalars[g.rng.Intn(len(ctx.scalars))]}
+			}
+		case 3:
+			if len(ctx.randArrs) > 0 {
+				a := ctx.randArrs[g.rng.Intn(len(ctx.randArrs))]
+				return &Expr{Kind: EIndex, Name: a.Name, Mask: int32(a.Len - 1),
+					Idx: g.genShallow(ctx)}
+			}
+		case 4:
+			if len(ctx.ownArrs) > 0 && ctx.ownLoop != "" {
+				a := ctx.ownArrs[g.rng.Intn(len(ctx.ownArrs))]
+				return &Expr{Kind: EIndex, Name: a.Name, Loop: ctx.ownLoop}
+			}
+		}
+	}
+}
+
+// genShallow builds a small index expression (constants, loop vars and
+// scalars only, depth 1).
+func (g *gen) genShallow(ctx *exprCtx) *Expr {
+	shallow := &exprCtx{loops: ctx.loops, scalars: ctx.scalars}
+	return g.genExpr(shallow, 1)
+}
+
+var binOps = []string{"+", "-", "*", "&", "|", "^",
+	"<", ">", "<=", ">=", "==", "!=", "&&", "||"}
+
+// genConstExpr builds an expression whose leaves are all literals.
+// The compiler folds it entirely, so any divergence between folding
+// and the machine's 32-bit arithmetic shows up as a value mismatch.
+// Operators here include the full non-ring set (comparisons, raw
+// divide, raw shift) because those observe overflowed intermediates.
+func (g *gen) genConstExpr(depth int) *Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return &Expr{Kind: ENum, Num: g.genConst()}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%",
+		"<", ">", "<=", ">=", "==", "!="}
+	return &Expr{Kind: EBinary, Op: ops[g.rng.Intn(len(ops))],
+		X: g.genConstExpr(depth - 1), Y: g.genConstExpr(depth - 1)}
+}
+
+func (g *gen) genExpr(ctx *exprCtx, depth int) *Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return g.genLeaf(ctx)
+	}
+	switch r := g.rng.Intn(20); {
+	case r < 2:
+		return &Expr{Kind: EUnary, Op: []string{"-", "~", "!"}[g.rng.Intn(3)],
+			X: g.genExpr(ctx, depth-1)}
+	case r < 4:
+		return &Expr{Kind: ECond, X: g.genExpr(ctx, depth-1),
+			Y: g.genExpr(ctx, depth-1), Z: g.genExpr(ctx, depth-1)}
+	case r < 6: // shift with a masked amount (keeps values varied)
+		return &Expr{Kind: EBinary, Op: []string{"<<", ">>"}[g.rng.Intn(2)],
+			X: g.genExpr(ctx, depth-1),
+			Y: &Expr{Kind: EBinary, Op: "&", X: g.genExpr(ctx, depth-1),
+				Y: &Expr{Kind: ENum, Num: 7}}}
+	case r < 8: // division with a small positive denominator
+		return &Expr{Kind: EBinary, Op: []string{"/", "%"}[g.rng.Intn(2)],
+			X: g.genExpr(ctx, depth-1),
+			Y: &Expr{Kind: EBinary, Op: "+",
+				X: &Expr{Kind: EBinary, Op: "&", X: g.genExpr(ctx, depth-1),
+					Y: &Expr{Kind: ENum, Num: 15}},
+				Y: &Expr{Kind: ENum, Num: 1}}}
+	case r < 9: // raw divide/shift: exercises the RV32IM edge semantics
+		return &Expr{Kind: EBinary,
+			Op: []string{"/", "%", "<<", ">>"}[g.rng.Intn(4)],
+			X:  g.genExpr(ctx, depth-1), Y: g.genExpr(ctx, depth-1)}
+	case r < 11: // constant-only subtree: folds completely at compile
+		// time, so this differentially tests foldConst against the
+		// machine (the production that pins the int64-folding bug).
+		return &Expr{Kind: EBinary, Op: binOps[g.rng.Intn(len(binOps))],
+			X: g.genConstExpr(depth), Y: g.genExpr(ctx, depth-1)}
+	default:
+		return &Expr{Kind: EBinary, Op: binOps[g.rng.Intn(len(binOps))],
+			X: g.genExpr(ctx, depth-1), Y: g.genExpr(ctx, depth-1)}
+	}
+}

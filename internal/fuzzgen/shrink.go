@@ -1,0 +1,303 @@
+package fuzzgen
+
+// The shrinker: greedy delta debugging over the program AST. Each
+// candidate edit is applied to a deep copy; an edit is kept only if
+// the copy still fails the predicate. Edits shrink strictly (fewer
+// statements, smaller loops, smaller expressions), so the loop
+// terminates; budget bounds the total number of predicate calls for
+// the pathological cases.
+
+// Shrink minimizes p while failing(p) stays true. The predicate is
+// "any failure", so a shrink can in principle slide from one bug to
+// another — the minimized program still reproduces a real divergence.
+func Shrink(p *Prog, failing func(*Prog) bool, budget int) *Prog {
+	cur := p.Clone()
+	s := &shrinker{failing: failing, budget: budget}
+	for {
+		improved := false
+		if s.shrinkStmts(cur, &cur.Stmts) {
+			improved = true
+		}
+		if s.shrinkLoops(cur) {
+			improved = true
+		}
+		if s.shrinkExprs(cur) {
+			improved = true
+		}
+		if s.pruneGlobals(cur) {
+			improved = true
+		}
+		if !improved || s.budget <= 0 {
+			return cur
+		}
+	}
+}
+
+type shrinker struct {
+	failing func(*Prog) bool
+	budget  int
+}
+
+// try re-checks the (already mutated) program; undo restores it when
+// the mutation no longer fails.
+func (s *shrinker) try(p *Prog, undo func()) bool {
+	if s.budget <= 0 {
+		undo()
+		return false
+	}
+	s.budget--
+	if s.failing(p) {
+		return true
+	}
+	undo()
+	return false
+}
+
+// shrinkStmts tries removing statements, hoisting loop/if bodies into
+// their parent list, and stripping parallel-for clauses.
+func (s *shrinker) shrinkStmts(p *Prog, list *[]Stmt) bool {
+	improved := false
+	for i := 0; i < len(*list); {
+		old := *list
+		removed := old[i]
+		*list = append(append([]Stmt{}, old[:i]...), old[i+1:]...)
+		if s.try(p, func() { *list = old }) {
+			improved = true
+			continue // same index now holds the next statement
+		}
+		switch st := removed.(type) {
+		case *If:
+			if s.shrinkStmts(p, &st.Then) {
+				improved = true
+			}
+			if s.shrinkStmts(p, &st.Else) {
+				improved = true
+			}
+		case *SeqFor:
+			if s.shrinkStmts(p, &st.Body) {
+				improved = true
+			}
+		case *ParFor:
+			if st.Red != nil {
+				red := st.Red
+				st.Red = nil
+				if s.try(p, func() { st.Red = red }) {
+					improved = true
+				}
+			}
+			for w := 0; w < len(st.Writes); {
+				oldW := st.Writes
+				st.Writes = append(append([]*Store{}, oldW[:w]...), oldW[w+1:]...)
+				if s.try(p, func() { st.Writes = oldW }) {
+					improved = true
+					continue
+				}
+				w++
+			}
+		case *Sections:
+			for w := 0; w < len(st.Secs) && len(st.Secs) > 1; {
+				oldW := st.Secs
+				st.Secs = append(append([]*Assign{}, oldW[:w]...), oldW[w+1:]...)
+				if s.try(p, func() { st.Secs = oldW }) {
+					improved = true
+					continue
+				}
+				w++
+			}
+		}
+		i++
+	}
+	return improved
+}
+
+// shrinkLoops reduces trip counts toward 1.
+func (s *shrinker) shrinkLoops(p *Prog) bool {
+	improved := false
+	walkStmts(p.Stmts, func(st Stmt) {
+		switch st := st.(type) {
+		case *SeqFor:
+			for _, n := range []int{1, st.N / 2} {
+				if n >= 1 && n < st.N {
+					old := st.N
+					st.N = n
+					if s.try(p, func() { st.N = old }) {
+						improved = true
+						break
+					}
+				}
+			}
+		case *ParFor:
+			for _, n := range []int{1, st.Trip / 2} {
+				if n >= 1 && n < st.Trip {
+					old := st.Trip
+					st.Trip = n
+					if s.try(p, func() { st.Trip = old }) {
+						improved = true
+						break
+					}
+				}
+			}
+			if st.Lo != 0 {
+				old := st.Lo
+				st.Lo = 0
+				if s.try(p, func() { st.Lo = old }) {
+					improved = true
+				}
+			}
+		}
+	})
+	return improved
+}
+
+// shrinkExprs tries replacing every expression node with one of its
+// children or a literal.
+func (s *shrinker) shrinkExprs(p *Prog) bool {
+	improved := false
+	walkExprSlots(p.Stmts, func(slot **Expr) {
+		e := *slot
+		if e == nil || e.Kind == ENum {
+			return
+		}
+		var cands []*Expr
+		for _, c := range []*Expr{e.X, e.Y, e.Z} {
+			if c != nil {
+				cands = append(cands, c)
+			}
+		}
+		cands = append(cands, &Expr{Kind: ENum, Num: 0}, &Expr{Kind: ENum, Num: 1})
+		for _, c := range cands {
+			if sameShape(e, c) {
+				continue
+			}
+			*slot = c
+			if s.try(p, func() { *slot = e }) {
+				improved = true
+				return
+			}
+		}
+	})
+	return improved
+}
+
+func sameShape(a, b *Expr) bool {
+	return a.Kind == ENum && b.Kind == ENum && a.Num == b.Num
+}
+
+// pruneGlobals drops globals the program no longer references.
+func (s *shrinker) pruneGlobals(p *Prog) bool {
+	used := map[string]bool{}
+	walkStmts(p.Stmts, func(st Stmt) {
+		switch st := st.(type) {
+		case *Assign:
+			used[st.Name] = true
+		case *Store:
+			used[st.Name] = true
+		case *ParFor:
+			if st.Red != nil {
+				used[st.Red.Name] = true
+			}
+		case *Sections:
+			for _, sec := range st.Secs {
+				used[sec.Name] = true
+			}
+		}
+	})
+	walkExprSlots(p.Stmts, func(slot **Expr) {
+		if e := *slot; e != nil && (e.Kind == EScalar || e.Kind == EIndex) {
+			used[e.Name] = true
+		}
+	})
+	improved := false
+	for i := 0; i < len(p.Globals); {
+		if used[p.Globals[i].Name] {
+			i++
+			continue
+		}
+		old := p.Globals
+		p.Globals = append(append([]*Global{}, old[:i]...), old[i+1:]...)
+		if s.try(p, func() { p.Globals = old }) {
+			improved = true
+			continue
+		}
+		i++
+	}
+	return improved
+}
+
+// ---- AST walkers ----------------------------------------------------------
+
+// walkStmts visits every statement (including parallel-for writes and
+// section assignments) depth-first.
+func walkStmts(list []Stmt, fn func(Stmt)) {
+	for _, st := range list {
+		fn(st)
+		switch st := st.(type) {
+		case *If:
+			walkStmts(st.Then, fn)
+			walkStmts(st.Else, fn)
+		case *SeqFor:
+			walkStmts(st.Body, fn)
+		case *ParFor:
+			for _, w := range st.Writes {
+				fn(w)
+			}
+		case *Sections:
+			for _, sec := range st.Secs {
+				fn(sec)
+			}
+		}
+	}
+}
+
+// walkExprSlots visits every expression slot in the tree, outermost
+// first, so a shrink can replace whole expressions before their parts.
+func walkExprSlots(list []Stmt, fn func(**Expr)) {
+	var walkExpr func(slot **Expr)
+	walkExpr = func(slot **Expr) {
+		if *slot == nil {
+			return
+		}
+		fn(slot)
+		e := *slot
+		walkExpr(&e.Idx)
+		walkExpr(&e.X)
+		walkExpr(&e.Y)
+		walkExpr(&e.Z)
+	}
+	var walk func(st Stmt)
+	walk = func(st Stmt) {
+		switch st := st.(type) {
+		case *Assign:
+			walkExpr(&st.E)
+		case *Store:
+			walkExpr(&st.Idx)
+			walkExpr(&st.E)
+		case *If:
+			walkExpr(&st.Cond)
+			for _, c := range st.Then {
+				walk(c)
+			}
+			for _, c := range st.Else {
+				walk(c)
+			}
+		case *SeqFor:
+			for _, c := range st.Body {
+				walk(c)
+			}
+		case *ParFor:
+			for _, w := range st.Writes {
+				walk(w)
+			}
+			if st.Red != nil {
+				walkExpr(&st.Red.E)
+			}
+		case *Sections:
+			for _, sec := range st.Secs {
+				walk(sec)
+			}
+		}
+	}
+	for _, st := range list {
+		walk(st)
+	}
+}

@@ -1,0 +1,2 @@
+int out;
+void main() { out = (2000000000 * 2) >> 4; }

@@ -1,0 +1,8 @@
+int a[8];
+int sum;
+void main() {
+	for (int i0 = 0; i0 < 8; i0++) { a[i0] = i0 * 3; }
+	sum = 0;
+	#pragma omp parallel for reduction(+:sum)
+	for (int i1 = 0; i1 < 8; i1++) { sum = sum + (a[i1] ^ i1); }
+}

@@ -23,7 +23,7 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./internal/cache ./cmd/lbp-bench
+go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./internal/cache ./internal/fuzzgen ./cmd/lbp-bench
 
 # Smoke-test the serving daemon over real HTTP: ephemeral port, the
 # same job twice (the repeat must be a cache hit with an identical
@@ -71,6 +71,12 @@ kill -TERM "$servepid"
 wait "$servepid"
 grep -q "drained" "$smokedir/serve.log"
 echo "verify: lbp-serve smoke OK"
+
+# Determinism fuzzing smoke: a small fixed-seed campaign across the
+# {cores} x {-simworkers} x {-ffwd} matrix must find zero divergences
+# from the sequential reference evaluator.
+go run ./cmd/lbp-fuzz -n 25 -seed 1 -crashdir "$smokedir/fuzz"
+echo "verify: lbp-fuzz smoke OK"
 
 if [ -n "$fig" ]; then
     go run ./cmd/lbp-bench -fig "$fig" -outdir out/
