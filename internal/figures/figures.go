@@ -59,6 +59,14 @@ var FastForward = true
 // can carry, and the equivalence tests compare rows with DeepEqual.
 var RecordThroughput = false
 
+// ThroughputRepeats is how many times a row's simulation runs when
+// RecordThroughput is on; the reported wall time is the fastest run.
+// A single 5-20ms run is dominated by cold-start noise (first-touch
+// page faults, GC warm-up), so a best-of-N over a reset warm machine is
+// what the throughput comparison in benchdiff needs. The repeats double
+// as a determinism check: every run must reproduce the first digest.
+var ThroughputRepeats = 3
+
 // pool recycles warm machines across the figure sweeps: every run of
 // the same variant size reuses a reset machine instead of reallocating
 // banks, link queues and reorder buffers. sim.Pool is safe for the
@@ -156,6 +164,25 @@ func runMatmulProg(prog *asm.Program, v workloads.MatmulVariant, h int) (MatmulR
 		Events:  rec.Count(),
 	}
 	if RecordThroughput {
+		for i := 1; i < ThroughputRepeats; i++ {
+			if err := sess.Reset(prog); err != nil {
+				return MatmulRow{}, fmt.Errorf("figures: %s/%d: rerun reset: %w", v, h, err)
+			}
+			rstart := time.Now()
+			rres, err := sess.Run()
+			rwall := time.Since(rstart).Seconds()
+			if err != nil {
+				return MatmulRow{}, fmt.Errorf("figures: %s/%d: rerun: %w", v, h, err)
+			}
+			if d := sess.Recorder().Digest(); d != row.Digest {
+				return MatmulRow{}, fmt.Errorf("figures: %s/%d: rerun digest %#x != %#x",
+					v, h, d, row.Digest)
+			}
+			if rwall < wall {
+				wall = rwall
+				res = rres
+			}
+		}
 		t := &Throughput{
 			WallSec:       wall,
 			SimWorkers:    sess.Machine().SimWorkers(),

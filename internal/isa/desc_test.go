@@ -1,0 +1,67 @@
+package isa
+
+import "testing"
+
+// Every descriptor field must agree with the switch-based reference
+// predicates for every opcode and rd value (rd matters for WritesRd and
+// IsPRet).
+func TestDescMatchesPredicates(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		for _, rd := range []uint8{0, 1, 31} {
+			in := Inst{Op: op, Rd: rd, Rs1: 5, Rs2: 6, Imm: -4, Raw: 0xdeadbeef}
+			d := DescOf(in)
+			if d.Inst != in {
+				t.Fatalf("%v: DescOf mutated the instruction", op)
+			}
+			if d.Cls != ClassOf(op) {
+				t.Errorf("%v: Cls = %d, ClassOf = %d", op, d.Cls, ClassOf(op))
+			}
+			if d.ReadsRs1() != in.ReadsRs1() {
+				t.Errorf("%v: ReadsRs1 = %v, want %v", op, d.ReadsRs1(), in.ReadsRs1())
+			}
+			if d.ReadsRs2() != in.ReadsRs2() {
+				t.Errorf("%v: ReadsRs2 = %v, want %v", op, d.ReadsRs2(), in.ReadsRs2())
+			}
+			if d.WritesRd() != in.WritesRd() {
+				t.Errorf("%v rd=%d: WritesRd = %v, want %v", op, rd, d.WritesRd(), in.WritesRd())
+			}
+			if d.IsPRet() != in.IsPRet() {
+				t.Errorf("%v rd=%d: IsPRet = %v, want %v", op, rd, d.IsPRet(), in.IsPRet())
+			}
+			wantLat := LatALU
+			switch ClassOf(op) {
+			case ClassMul:
+				wantLat = LatMul
+			case ClassDiv:
+				wantLat = LatDiv
+			}
+			if d.Lat != wantLat {
+				t.Errorf("%v: Lat = %d, want %d", op, d.Lat, wantLat)
+			}
+			wantW, wantSigned := uint8(4), false
+			switch op {
+			case OpLB:
+				wantW, wantSigned = 1, true
+			case OpLBU, OpSB:
+				wantW = 1
+			case OpLH:
+				wantW, wantSigned = 2, true
+			case OpLHU, OpSH:
+				wantW = 2
+			}
+			if d.MemW != wantW || d.MemSigned() != wantSigned {
+				t.Errorf("%v: MemW,Signed = %d,%v want %d,%v",
+					op, d.MemW, d.MemSigned(), wantW, wantSigned)
+			}
+		}
+	}
+}
+
+func TestDecodeDesc(t *testing.T) {
+	// addi x5, x6, 8 = imm[11:0]=8 rs1=6 funct3=000 rd=5 opcode=0010011
+	raw := uint32(8)<<20 | 6<<15 | 5<<7 | 0b0010011
+	d := DecodeDesc(raw)
+	if d.Op() != OpADDI || d.Inst.Rd != 5 || d.Inst.Rs1 != 6 || d.Inst.Imm != 8 {
+		t.Fatalf("DecodeDesc(addi) = %+v", d)
+	}
+}

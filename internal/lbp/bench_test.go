@@ -1,0 +1,117 @@
+package lbp_test
+
+// Host-side microbenchmarks of the simulator hot path. They measure
+// exactly what the benchdiff throughput gate measures — simulated cycles
+// per host second inside Machine.Run — on the fig-19 workloads, plus the
+// raw stepping rate of a single machine. Run them with
+//
+//	go test -bench 'MachineStep|FigRow' -run @ ./internal/lbp
+//
+// (scripts/verify.sh -bench N runs them alongside the benchdiff gate).
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchSession builds a fig-19 session (digest tracing on, like the
+// benchdiff rows) for one matmul variant at h harts.
+func benchSession(v workloads.MatmulVariant, h int) (*sim.Session, error) {
+	prog, err := workloads.BuildMatmul(v, h)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workloads.MatmulConfig(h)
+	return sim.New(sim.Spec{
+		Program:   prog,
+		Config:    &cfg,
+		MaxCycles: workloads.MaxMatmulCycles(h),
+		Trace:     sim.TraceSpec{Digest: true},
+	})
+}
+
+// BenchmarkMachineStep measures the raw cycle-stepping rate: one warm
+// machine, reset and re-run per iteration, reporting simulated cycles
+// per second. This is the per-retire hot path (fetch through commit plus
+// the trace digest) with no per-run build cost.
+func BenchmarkMachineStep(b *testing.B) {
+	prog, err := workloads.BuildMatmul(workloads.Base, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := benchSession(workloads.Base, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Stats.Cycles
+		b.StopTimer()
+		if err := sess.Reset(prog); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkFigRow measures each fig-19 row end to end on a warm pool
+// machine — the same measurement the BENCH_fig19.json throughput field
+// records — reporting simulated cycles per second per variant.
+func BenchmarkFigRow(b *testing.B) {
+	for _, v := range workloads.Variants {
+		b.Run(string(v), func(b *testing.B) {
+			prog, err := workloads.BuildMatmul(v, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := workloads.MatmulConfig(16)
+			var pool sim.Pool
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := pool.Get(sim.Spec{
+					Program:   prog,
+					Config:    &cfg,
+					MaxCycles: workloads.MaxMatmulCycles(16),
+					Trace:     sim.TraceSpec{Digest: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sess.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+				pool.Put(sess)
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// sanity: the bench sessions run and produce a nonempty digest trace.
+func TestBenchSessionRuns(t *testing.T) {
+	sess, err := benchSession(workloads.Base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles == 0 || res.Stats.Retired == 0 {
+		t.Fatalf("empty run: %+v", res.Stats)
+	}
+	if sess.Recorder().Count() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+}

@@ -40,7 +40,8 @@ type core struct {
 // reverse pipeline order so that a stage's output is consumed by the
 // next stage one cycle later at the earliest. It mutates only this
 // core's state — everything cross-core or machine-global lands in the
-// pending stream — and reports whether any stage did work.
+// pending stream (or, on a serial cycle, applies inline; see
+// core.effect) — and reports whether any stage did work.
 func (c *core) stepCompute(now uint64) bool {
 	start := c.perf.StageBusy
 	c.commit(now)
@@ -83,17 +84,17 @@ func (c *core) fetch(now uint64) {
 	}
 	c.perf.StageBusy[perf.StageFetch]++
 	h.syncmWait = false
-	in, ok := c.m.decodedAt(h.pc)
-	if !ok {
+	d := c.m.descAt(h.pc)
+	if d == nil {
 		c.faultf(h.idx, "instruction fetch from unmapped pc %#x", h.pc)
 		return
 	}
-	if in.Op == isa.OpInvalid {
-		c.faultf(h.idx, "invalid instruction %#08x at pc %#x", in.Raw, h.pc)
+	if d.Inst.Op == isa.OpInvalid {
+		c.faultf(h.idx, "invalid instruction %#08x at pc %#x", d.Inst.Raw, h.pc)
 		return
 	}
 	u := h.newUop()
-	u.inst = in
+	u.d = d
 	u.pc = h.pc
 	h.ib = u
 	h.pcValid = false
@@ -123,16 +124,17 @@ func (c *core) rename(now uint64) {
 	c.perf.StageBusy[perf.StageRename]++
 	u := h.ib
 	h.ib = nil
-	in := &u.inst
+	d := u.d
+	in := &d.Inst
 
-	if in.ReadsRs1() && in.Rs1 != 0 {
+	if d.ReadsRs1() && in.Rs1 != 0 {
 		if lw := h.lastWriter[in.Rs1]; lw != nil {
 			u.dep1 = lw
 		} else {
 			u.src1 = h.regs[in.Rs1]
 		}
 	}
-	if in.ReadsRs2() && in.Rs2 != 0 {
+	if d.ReadsRs2() && in.Rs2 != 0 {
 		if lw := h.lastWriter[in.Rs2]; lw != nil {
 			u.dep2 = lw
 		} else {
@@ -141,16 +143,15 @@ func (c *core) rename(now uint64) {
 	}
 	u.seq = h.seq
 	h.seq++
-	class := isa.ClassOf(in.Op)
-	u.cls = class
-	u.isRet = in.IsPRet()
-	u.needsRB = in.WritesRd() || class == isa.ClassLoad ||
-		(class == isa.ClassJump && !u.isRet)
-	if in.WritesRd() {
+	u.isRet = d.IsPRet()
+	writesRd := d.WritesRd()
+	u.needsRB = writesRd || d.Cls == isa.ClassLoad ||
+		(d.Cls == isa.ClassJump && !u.isRet)
+	if writesRd {
 		h.lastWriter[in.Rd] = u
 	}
 	h.it = append(h.it, u)
-	h.rob = append(h.rob, u)
+	h.robPush(u)
 
 	// Next-pc production (Figure 10: nextPC leaves the decode stage).
 	switch {
@@ -158,7 +159,7 @@ func (c *core) rename(now uint64) {
 		h.pc = u.pc + uint32(in.Imm)
 		h.pcValid = true
 		h.pcReadyCycle = now + 1
-	case in.Op == isa.OpJALR || in.Op == isa.OpPJALR || class == isa.ClassBranch:
+	case in.Op == isa.OpJALR || in.Op == isa.OpPJALR || d.Cls == isa.ClassBranch:
 		// resolved at execution; fetch stays suspended
 	case in.Op == isa.OpPSYNCM:
 		h.pc = u.pc + 4
@@ -213,24 +214,22 @@ func (c *core) canIssue(h *hart, u *uop) bool {
 	if u.needsRB && h.exec != nil {
 		return false
 	}
-	in := &u.inst
-	class := isa.ClassOf(in.Op)
-	if c.m.cfg.StrictMemOrder && (class == isa.ClassLoad || class == isa.ClassStore) {
+	d := u.d
+	if c.m.cfg.StrictMemOrder && (d.Cls == isa.ClassLoad || d.Cls == isa.ClassStore) {
 		// Memory operations leave the instruction table in program order
 		// (standing in for compiler-inserted p_syncm; see DESIGN.md).
 		for _, older := range h.it {
 			if older.seq >= u.seq {
 				break
 			}
-			oc := isa.ClassOf(older.inst.Op)
-			if oc == isa.ClassLoad || oc == isa.ClassStore {
+			if oc := older.d.Cls; oc == isa.ClassLoad || oc == isa.ClassStore {
 				return false
 			}
 		}
 	}
-	switch in.Op {
+	switch d.Inst.Op {
 	case isa.OpPLWRE:
-		idx := int(in.Imm)
+		idx := int(d.Inst.Imm)
 		return idx >= 0 && idx < len(h.remote) && len(h.remote[idx].vals) > 0
 	case isa.OpPFC:
 		return c.freeHart() != nil
@@ -247,42 +246,12 @@ func (c *core) canIssue(h *hart, u *uop) bool {
 	return true
 }
 
-// execute performs the semantics of an issued instruction.
+// execute performs the semantics of an issued instruction: one indexed
+// call through the descriptor dispatch table (exec.go).
 func (c *core) execute(h *hart, u *uop, now uint64) {
 	u.issued = true
 	h.removeFromIT(u)
-	in := &u.inst
-	switch isa.ClassOf(in.Op) {
-	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
-		u.value = aluCompute(in, u.src1, u.src2, u.pc)
-		c.startExec(h, u, now+c.m.latencyOf(in.Op))
-	case isa.ClassBranch:
-		target := u.pc + 4
-		if branchTaken(in.Op, u.src1, u.src2) {
-			target = u.pc + uint32(in.Imm)
-		}
-		h.pc = target
-		h.pcValid = true
-		h.pcReadyCycle = now + 1
-		u.done = true
-	case isa.ClassJump:
-		c.execJump(h, u, now)
-	case isa.ClassLoad:
-		c.execLoad(h, u, now)
-	case isa.ClassStore:
-		switch in.Op {
-		case isa.OpPSWCV:
-			c.execSwcv(h, u, now)
-		case isa.OpPSWRE:
-			c.execSwre(h, u, now)
-		default:
-			c.execStore(h, u, now)
-		}
-	case isa.ClassSystem:
-		u.done = true
-	case isa.ClassXPar:
-		c.execXPar(h, u, now)
-	}
+	execTab[u.d.Inst.Op](c, h, u, now)
 }
 
 func (c *core) startExec(h *hart, u *uop, readyAt uint64) {
@@ -290,48 +259,48 @@ func (c *core) startExec(h *hart, u *uop, readyAt uint64) {
 	h.execReadyAt = readyAt
 }
 
-func (c *core) execJump(h *hart, u *uop, now uint64) {
-	in := &u.inst
-	cont := u.pc + 4
-	switch in.Op {
-	case isa.OpJAL:
-		// target pc was produced at rename
-		u.value = cont
-		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
-	case isa.OpJALR:
-		u.value = cont
-		h.pc = (u.src1 + uint32(in.Imm)) &^ 1
-		h.pcValid = true
-		h.pcReadyCycle = now + 1
-		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
-	case isa.OpPJAL:
-		// local target pc was produced at rename; start the continuation
-		// on the designated hart.
-		u.value = 0 // "clear rd"
-		c.sendStart(h, resolveLink(u.src1), cont)
-		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
-	case isa.OpPJALR:
-		if u.isRet {
-			u.retRA = u.src1
-			u.retT0 = u.src2
-			u.done = true // ending actions run at commit, in order
-			return
-		}
-		u.value = 0
-		h.pc = u.src2 &^ 1
-		h.pcValid = true
-		h.pcReadyCycle = now + 1
-		c.sendStart(h, resolveLink(u.src1), cont)
-		c.startExec(h, u, now+uint64(c.m.cfg.ALULat))
+func execJAL(c *core, h *hart, u *uop, now uint64) {
+	// target pc was produced at rename
+	u.value = u.pc + 4
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func execJALR(c *core, h *hart, u *uop, now uint64) {
+	u.value = u.pc + 4
+	h.pc = (u.src1 + uint32(u.d.Inst.Imm)) &^ 1
+	h.pcValid = true
+	h.pcReadyCycle = now + 1
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func execPJAL(c *core, h *hart, u *uop, now uint64) {
+	// local target pc was produced at rename; start the continuation
+	// on the designated hart.
+	u.value = 0 // "clear rd"
+	c.sendStart(h, resolveLink(u.src1), u.pc+4)
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func execPJALR(c *core, h *hart, u *uop, now uint64) {
+	if u.isRet {
+		u.retRA = u.src1
+		u.retT0 = u.src2
+		u.done = true // ending actions run at commit, in order
+		return
 	}
+	u.value = 0
+	h.pc = u.src2 &^ 1
+	h.pcValid = true
+	h.pcReadyCycle = now + 1
+	c.sendStart(h, resolveLink(u.src1), u.pc+4)
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
 }
 
 func (c *core) execLoad(h *hart, u *uop, now uint64) {
-	in := &u.inst
-	addr := u.src1 + uint32(in.Imm)
-	w, signed := memWidth(in.Op)
-	if addr%uint32(w) != 0 {
-		c.faultf(h.idx, "misaligned load of width %d at %#x (pc %#x)", w, addr, u.pc)
+	d := u.d
+	addr := u.src1 + uint32(d.Inst.Imm)
+	if addr%uint32(d.MemW) != 0 {
+		c.faultf(h.idx, "misaligned load of width %d at %#x (pc %#x)", d.MemW, addr, u.pc)
 		return
 	}
 	u.memWait = true
@@ -341,16 +310,15 @@ func (c *core) execLoad(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "load from unmapped address %#x (pc %#x)", addr, u.pc)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendLoad, h: h, u: u,
-		a: addr, w: mem.Width(w), signed: signed})
+	c.effect(pendItem{kind: pendLoad, h: h, u: u,
+		a: addr, w: mem.Width(d.MemW), signed: d.MemSigned()})
 }
 
 func (c *core) execStore(h *hart, u *uop, now uint64) {
-	in := &u.inst
-	addr := u.src1 + uint32(in.Imm)
-	w, _ := memWidth(in.Op)
-	if addr%uint32(w) != 0 {
-		c.faultf(h.idx, "misaligned store of width %d at %#x (pc %#x)", w, addr, u.pc)
+	d := u.d
+	addr := u.src1 + uint32(d.Inst.Imm)
+	if addr%uint32(d.MemW) != 0 {
+		c.faultf(h.idx, "misaligned store of width %d at %#x (pc %#x)", d.MemW, addr, u.pc)
 		return
 	}
 	h.inflightMem++
@@ -358,8 +326,7 @@ func (c *core) execStore(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "store to unmapped address %#x (pc %#x)", addr, u.pc)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendStore, h: h,
-		a: addr, b: u.src2, w: mem.Width(w)})
+	c.effect(pendItem{kind: pendStore, h: h, a: addr, b: u.src2, w: mem.Width(d.MemW)})
 	u.done = true
 }
 
@@ -384,8 +351,8 @@ func (c *core) writeback(now uint64) {
 	c.perf.StageBusy[perf.StageWriteback]++
 	u := h.exec
 	h.exec = nil
-	if u.inst.WritesRd() {
-		rd := u.inst.Rd
+	if u.d.WritesRd() {
+		rd := u.d.Inst.Rd
 		if h.lastWriter[rd] == u {
 			h.lastWriter[rd] = nil
 			h.regs[rd] = u.value
@@ -405,10 +372,10 @@ func (c *core) commit(now uint64) {
 	var h *hart
 	for i := 1; i <= HartsPerCore; i++ {
 		cand := c.harts[(c.commitRR+i)%HartsPerCore]
-		if len(cand.rob) == 0 || !cand.rob[0].done {
+		if cand.robN == 0 || !cand.robFront().done {
 			continue
 		}
-		if u := cand.rob[0]; u.isRet {
+		if u := cand.robFront(); u.isRet {
 			if (cand.hasPred && !cand.predSignal) || cand.inflightMem > 0 || cand.exec != nil {
 				continue
 			}
@@ -420,20 +387,19 @@ func (c *core) commit(now uint64) {
 	if h == nil {
 		return
 	}
-	u := h.rob[0]
-	h.rob = h.rob[1:]
+	u := h.robPopFront()
 	h.retired++
 	h.lastCommit = now
 	h.perf.Commits++
-	h.perf.Retired[u.cls]++
+	h.perf.Retired[u.d.Cls]++
 	c.perf.StageBusy[perf.StageCommit]++
 	c.committed = true
 	c.emit(trace.KindCommit, h.idx, uint64(u.pc))
 	switch {
 	case u.isRet:
 		c.doRet(h, u, now)
-	case u.inst.Op == isa.OpECALL || u.inst.Op == isa.OpEBREAK:
-		c.deferHalt(u.inst.Op.String())
+	case u.d.Inst.Op == isa.OpECALL || u.d.Inst.Op == isa.OpEBREAK:
+		c.deferHalt(u.d.Inst.Op.String())
 	}
 	h.freeUop(u)
 }

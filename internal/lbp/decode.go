@@ -1,0 +1,139 @@
+package lbp
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Content-addressed decode cache. Predecoding a program into its
+// descriptor image (one isa.Desc per code word — see exec.go) is pure:
+// the image depends only on the code bytes, never on the machine
+// configuration. So images are built once per distinct program, keyed by
+// the SHA-256 of the code words — the same content-addressing discipline
+// as sim.CacheKey — and shared read-only across every machine that loads
+// the program, including all warm sim.Pool machines and checkpoint
+// restores: lbp-serve never decodes the same image twice. The cache is
+// a bounded package-level LRU; eviction only drops the shared reference,
+// machines still holding the image keep it alive.
+
+// progImage is an immutable predecoded code image, indexed by pc/4 from
+// address zero (words below the text base decode to OpInvalid, exactly
+// like the zeroed code bank there). Machines must never write through
+// it; uops alias its descriptors.
+type progImage struct {
+	descs []isa.Desc
+}
+
+type imageKey [sha256.Size]byte
+
+const decodeCacheCap = 64 // distinct program images kept warm
+
+var decodeCache = struct {
+	mu      sync.Mutex
+	entries map[imageKey]*list.Element
+	lru     *list.List // of *decodeEntry, front = most recently used
+	hits    uint64
+	misses  uint64
+}{entries: make(map[imageKey]*list.Element), lru: list.New()}
+
+type decodeEntry struct {
+	key imageKey
+	img *progImage
+}
+
+// hashImage content-addresses a full code image (length included, so a
+// prefix and its extension never collide).
+func hashImage(words []uint32) imageKey {
+	h := sha256.New()
+	buf := make([]byte, 0, 4096)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint32(buf, w)
+		if len(buf) >= 4088 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	var k imageKey
+	h.Sum(k[:0])
+	return k
+}
+
+func buildImage(words []uint32) *progImage {
+	descs := make([]isa.Desc, len(words))
+	for i, w := range words {
+		descs[i] = isa.DecodeDesc(w)
+	}
+	return &progImage{descs: descs}
+}
+
+// sharedImage returns the cached descriptor image for the code words,
+// building and publishing it on first sight.
+func sharedImage(words []uint32) *progImage {
+	key := hashImage(words)
+	decodeCache.mu.Lock()
+	if el, ok := decodeCache.entries[key]; ok {
+		decodeCache.lru.MoveToFront(el)
+		decodeCache.hits++
+		img := el.Value.(*decodeEntry).img
+		decodeCache.mu.Unlock()
+		return img
+	}
+	decodeCache.misses++
+	decodeCache.mu.Unlock()
+
+	img := buildImage(words) // decode outside the lock
+
+	decodeCache.mu.Lock()
+	defer decodeCache.mu.Unlock()
+	if el, ok := decodeCache.entries[key]; ok {
+		// Another machine published the same image first; share theirs.
+		decodeCache.lru.MoveToFront(el)
+		return el.Value.(*decodeEntry).img
+	}
+	decodeCache.entries[key] = decodeCache.lru.PushFront(&decodeEntry{key: key, img: img})
+	for decodeCache.lru.Len() > decodeCacheCap {
+		old := decodeCache.lru.Back()
+		decodeCache.lru.Remove(old)
+		delete(decodeCache.entries, old.Value.(*decodeEntry).key)
+	}
+	return img
+}
+
+// DecodeCacheStats reports cumulative decode-cache hits and misses and
+// the current entry count (for /metrics and tests).
+func DecodeCacheStats() (hits, misses uint64, entries int) {
+	decodeCache.mu.Lock()
+	defer decodeCache.mu.Unlock()
+	return decodeCache.hits, decodeCache.misses, decodeCache.lru.Len()
+}
+
+// installProgram makes the descriptor image for a program loaded at
+// baseWords (text base / 4) the machine's fetch source. The common case —
+// one program per machine — goes through the shared cache; loading a
+// second program on top extends a private copy, since the merged image
+// is unique to this machine.
+func (m *Machine) installProgram(baseWords int, text []uint32) {
+	if m.img == nil {
+		words := make([]uint32, baseWords+len(text))
+		copy(words[baseWords:], text)
+		m.img = sharedImage(words)
+		return
+	}
+	end := baseWords + len(text)
+	n := len(m.img.descs)
+	if end > n {
+		n = end
+	}
+	priv := make([]isa.Desc, n)
+	copy(priv, m.img.descs)
+	for i, w := range text {
+		priv[baseWords+i] = isa.DecodeDesc(w)
+	}
+	m.img = &progImage{descs: priv}
+}

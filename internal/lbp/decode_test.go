@@ -1,0 +1,111 @@
+package lbp
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+const decodeTestProg = "main:\n\tli ra, 0\n\tli t0, -1\n\taddi a0, zero, 7\n\tp_ret\n"
+
+// TestDecodeImageShared: two machines loading the identical program must
+// end up with the same (pointer-identical) decoded image, and the cache
+// counters must reflect the hit.
+func TestDecodeImageShared(t *testing.T) {
+	p, err := asm.Assemble(decodeTestProg, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	h0, m0, _ := DecodeCacheStats()
+	m1 := New(DefaultConfig(1))
+	if err := m1.LoadProgram(p); err != nil {
+		t.Fatalf("load 1: %v", err)
+	}
+	m2 := New(DefaultConfig(2)) // different geometry, same code image
+	if err := m2.LoadProgram(p); err != nil {
+		t.Fatalf("load 2: %v", err)
+	}
+	if m1.img == nil || m1.img != m2.img {
+		t.Fatalf("machines loading the same program hold different images: %p vs %p", m1.img, m2.img)
+	}
+	h1, mi1, entries := DecodeCacheStats()
+	if h1 <= h0 {
+		t.Errorf("expected a cache hit: hits %d -> %d", h0, h1)
+	}
+	if mi1 <= m0 {
+		t.Errorf("expected a cache miss for the first load: misses %d -> %d", m0, mi1)
+	}
+	if entries == 0 {
+		t.Error("cache reports zero entries after a load")
+	}
+
+	// A different program must not share the image.
+	p2, err := asm.Assemble("main:\n\tli ra, 0\n\tli t0, -1\n\taddi a0, zero, 8\n\tp_ret\n", asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble 2: %v", err)
+	}
+	m3 := New(DefaultConfig(1))
+	if err := m3.LoadProgram(p2); err != nil {
+		t.Fatalf("load 3: %v", err)
+	}
+	if m3.img == m1.img {
+		t.Error("different programs share a decoded image")
+	}
+}
+
+// TestDecodeImageRestoreShared: a machine restored from a checkpoint must
+// share the cached image with machines that loaded the program directly.
+func TestDecodeImageRestoreShared(t *testing.T) {
+	p, err := asm.Assemble(decodeTestProg, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m1 := New(DefaultConfig(1))
+	if err := m1.LoadProgram(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	cp, err := m1.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	m2, err := Restore(cp)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if m2.img != m1.img {
+		t.Errorf("restored machine rebuilt a private image: %p vs %p", m2.img, m1.img)
+	}
+	if _, err := m2.Run(100000); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+}
+
+// TestDescAt: descriptor lookups mirror the old per-word decode.
+func TestDescAt(t *testing.T) {
+	p, err := asm.Assemble(decodeTestProg, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(DefaultConfig(1))
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if d := m.descAt(2); d != nil {
+		t.Error("misaligned pc must not resolve")
+	}
+	if d := m.descAt(uint32(len(m.img.descs) * 4)); d != nil {
+		t.Error("pc past the image must not resolve")
+	}
+	d := m.descAt(p.TextBase)
+	if d == nil {
+		t.Fatal("entry pc does not resolve")
+	}
+	w, ok := m.Mem.FetchWord(p.TextBase)
+	if !ok {
+		t.Fatal("entry word not fetchable")
+	}
+	if ref := isa.DecodeDesc(w); *d != ref {
+		t.Errorf("descAt = %+v, DecodeDesc = %+v", *d, ref)
+	}
+}

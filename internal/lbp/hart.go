@@ -17,11 +17,14 @@ const (
 
 // uop is an in-flight instruction. uops live in the per-hart instruction
 // table from rename to issue and in the reorder buffer until commit.
+// d points at the instruction's shared, immutable descriptor (opcode,
+// operand fields, pipeline class, latency class, memory width — see
+// exec.go and decode.go); per-retire stages read it instead of
+// re-deriving metadata from the opcode.
 type uop struct {
-	inst isa.Inst
-	pc   uint32
-	seq  uint64    // per-hart rename sequence number
-	cls  isa.Class // pipeline class, cached at rename
+	d   *isa.Desc
+	pc  uint32
+	seq uint64 // per-hart rename sequence number
 
 	// Source operands: value captured at rename if the producer already
 	// wrote back, otherwise dep points at the producing uop and the value
@@ -64,9 +67,16 @@ type hart struct {
 	regs       [32]uint32
 	lastWriter [32]*uop // most recently renamed writer still in flight
 
-	ib      *uop   // fetched, not yet renamed (the decode-stage buffer)
-	it      []*uop // instruction table, in rename order
-	rob     []*uop // reorder buffer, in rename order
+	ib *uop   // fetched, not yet renamed (the decode-stage buffer)
+	it []*uop // instruction table, in rename order
+
+	// Reorder buffer: a fixed-capacity ring (commit consumes from the
+	// head every cycle, so a plain slice would shed its backing array
+	// capacity and reallocate on every wrap).
+	rob     []*uop // len == Config.ROBEntries, allocated once
+	robHead int
+	robN    int
+
 	seq     uint64 // rename counter
 	renamed uint64 // statistics
 
@@ -84,6 +94,14 @@ type hart struct {
 	endingEpoch uint64 // cycle of last lifecycle change (diagnostics)
 
 	pool []*uop // recycled uops (bounded by ROB size)
+
+	// Reusable memory-event payloads (clients.go). A hart has at most one
+	// load in flight (the 1-deep result buffer gates issue until the
+	// response returns), so ldc can be re-armed per load; stc is
+	// stateless beyond the hart pointer and is shared by every
+	// outstanding store and continuation-value write.
+	ldc loadClient
+	stc storeClient
 
 	// Performance counters (always counted; reported when profiling is
 	// enabled). lastCommit marks the cycle of the hart's latest commit so
@@ -109,6 +127,43 @@ func (h *hart) freeUop(u *uop) {
 		h.pool = append(h.pool, u)
 	}
 }
+
+// ---- reorder-buffer ring ----------------------------------------------
+
+// robLen returns the number of in-flight entries.
+func (h *hart) robLen() int { return h.robN }
+
+// robFront returns the oldest entry; robN must be nonzero.
+func (h *hart) robFront() *uop { return h.rob[h.robHead] }
+
+// robAt returns the i-th oldest entry (0 = front); i must be < robN.
+func (h *hart) robAt(i int) *uop { return h.rob[(h.robHead+i)%len(h.rob)] }
+
+// robPush appends behind the newest entry; the caller checks robFull.
+func (h *hart) robPush(u *uop) {
+	h.rob[(h.robHead+h.robN)%len(h.rob)] = u
+	h.robN++
+}
+
+// robPopFront removes and returns the oldest entry.
+func (h *hart) robPopFront() *uop {
+	u := h.rob[h.robHead]
+	h.rob[h.robHead] = nil // release for the uop pool
+	h.robHead = (h.robHead + 1) % len(h.rob)
+	h.robN--
+	return u
+}
+
+func (h *hart) robClear() {
+	clear(h.rob)
+	h.robHead, h.robN = 0, 0
+}
+
+// robFull reports whether the reorder buffer is at capacity.
+func (h *hart) robFull(cfg *Config) bool { return h.robN >= cfg.ROBEntries }
+
+// itFull reports whether the instruction table is at capacity.
+func (h *hart) itFull(cfg *Config) bool { return len(h.it) >= cfg.ITEntries }
 
 // setState transitions the hart lifecycle state, maintaining the owning
 // core's busy-hart count so the machine can skip fully-idle cores (the
@@ -142,7 +197,7 @@ func (h *hart) reset(cfg *Config) {
 	h.lastWriter = [32]*uop{}
 	h.ib = nil
 	h.it = h.it[:0]
-	h.rob = h.rob[:0]
+	h.robClear()
 	h.exec = nil
 	h.inflightMem = 0
 	h.hasPred, h.predSignal = false, false
@@ -178,12 +233,6 @@ func (h *hart) free(now uint64) {
 	h.ib = nil
 	h.endingEpoch = now
 }
-
-// robFull reports whether the reorder buffer is at capacity.
-func (h *hart) robFull(cfg *Config) bool { return len(h.rob) >= cfg.ROBEntries }
-
-// itFull reports whether the instruction table is at capacity.
-func (h *hart) itFull(cfg *Config) bool { return len(h.it) >= cfg.ITEntries }
 
 // wake captures a written-back value in every dependent instruction.
 func (h *hart) wake(producer *uop, value uint32) {

@@ -36,8 +36,9 @@ type Machine struct {
 	rec     *trace.Recorder
 	emit    emitFn // trace sink, never nil (no-op when tracing is off)
 
-	decoded []isa.Inst // predecoded code image, indexed by pc/4
-	stats   Stats
+	img    *progImage                // predecoded descriptor image (decode.go), shared read-only
+	latTab [isa.NumLatClasses]uint64 // functional-unit latency by descriptor class
+	stats  Stats
 
 	// Performance counters. The inline increments in the pipeline stages
 	// and the memory system are unconditional (they are cheap and cannot
@@ -55,6 +56,8 @@ type Machine struct {
 	// idle-cycle fast-forward, pool is the lazily-built worker pool.
 	tracing    bool
 	seqTrace   bool // this cycle's phase A is serial: emit folds events live
+	inlineFx   bool // this cycle's phase A is serial: effects apply inline
+	deferred   bool // an effect of this cycle deferred; later ones must too
 	simWorkers int
 	fastFwd    bool
 	pool       *stepPool
@@ -124,6 +127,9 @@ func New(cfg Config) *Machine {
 	if cfg.LivelockWindow == 0 {
 		m.cfg.LivelockWindow = 100000
 	}
+	m.latTab[isa.LatALU] = uint64(cfg.ALULat)
+	m.latTab[isa.LatMul] = uint64(cfg.MulLat)
+	m.latTab[isa.LatDiv] = uint64(cfg.DivLat)
 	m.cores = make([]*core, cfg.Cores)
 	m.harts = make([]*hart, cfg.Cores*HartsPerCore)
 	m.hperf = make([]perf.HartCounters, cfg.Cores*HartsPerCore)
@@ -136,7 +142,10 @@ func New(cfg Config) *Machine {
 				idx:    hi,
 				gid:    isa.GlobalHart(c, hi),
 				remote: make([]remoteRB, cfg.RemoteRBs),
+				rob:    make([]*uop, cfg.ROBEntries),
 			}
+			h.ldc.h = h
+			h.stc.h = h
 			h.perf = &m.hperf[h.gid]
 			h.reset(&m.cfg)
 			co.harts[hi] = h
@@ -175,16 +184,17 @@ func (m *Machine) AddDevice(d Device) { m.devices = append(m.devices, d) }
 // Cycle returns the current cycle number.
 func (m *Machine) Cycle() uint64 { return m.cycle }
 
-// decodedAt returns the predecoded instruction at pc, if mapped.
-func (m *Machine) decodedAt(pc uint32) (isa.Inst, bool) {
-	if pc%4 != 0 {
-		return isa.Inst{}, false
+// descAt returns the predecoded descriptor at pc, or nil when pc is
+// unmapped. The returned descriptor aliases the shared immutable image.
+func (m *Machine) descAt(pc uint32) *isa.Desc {
+	if pc%4 != 0 || m.img == nil {
+		return nil
 	}
-	idx := int(pc / 4)
-	if idx >= len(m.decoded) {
-		return isa.Inst{}, false
+	idx := pc >> 2
+	if uint64(idx) >= uint64(len(m.img.descs)) {
+		return nil
 	}
-	return m.decoded[idx], true
+	return &m.img.descs[idx]
 }
 
 // Hart returns the hart with the given global number.
@@ -235,13 +245,9 @@ func (m *Machine) LoadProgram(p *asm.Program) error {
 		return err
 	}
 	// Predecode the image: fetch is on the critical path of every cycle.
-	end := p.TextBase/4 + uint32(len(p.Text))
-	if uint32(len(m.decoded)) < end {
-		m.decoded = append(m.decoded, make([]isa.Inst, int(end)-len(m.decoded))...)
-	}
-	for i, w := range p.Text {
-		m.decoded[int(p.TextBase/4)+i] = isa.Decode(w)
-	}
+	// The descriptor image is content-addressed and shared across
+	// machines running the same program (decode.go).
+	m.installProgram(int(p.TextBase/4), p.Text)
 	for _, seg := range p.Segments {
 		if err := m.Mem.LoadShared(seg.Addr, seg.Words); err != nil {
 			return err
@@ -318,6 +324,7 @@ func (m *Machine) Advance(n uint64) (*Result, error) {
 			m.pool = nil
 		}()
 	}
+	hasDevices := len(m.devices) > 0
 	for !m.exited {
 		if m.cycle >= stop {
 			return nil, nil
@@ -327,8 +334,10 @@ func (m *Machine) Advance(n uint64) (*Result, error) {
 			m.progress = m.cycle
 		}
 		m.Mem.Step(m.cycle)
-		for _, d := range m.devices {
-			d.Step(m, m.cycle)
+		if hasDevices {
+			for _, d := range m.devices {
+				d.Step(m, m.cycle)
+			}
 		}
 		dirty := false
 		for _, c := range m.cores {
@@ -346,17 +355,27 @@ func (m *Machine) Advance(n uint64) (*Result, error) {
 		}
 		activity := false
 		if m.pool != nil && len(m.active) >= minShardCores {
-			// Sharded cycle: every core buffers its events; the flag is
-			// settled before the workers start and only read by them.
+			// Sharded cycle: every core buffers its events and defers its
+			// effects; both flags are settled before the workers start and
+			// only read by them.
 			m.seqTrace = false
+			m.inlineFx = false
 			activity = m.pool.stepParallel(m.active, m.cycle)
 		} else {
+			// Serial cycle: the cores step in exactly the order phase B
+			// would replay, so events fold into the recorder live and
+			// effects apply inline (core.effect) — the common case runs
+			// the whole cycle in one tight pass with an empty pending
+			// stream for applyPending to skip.
 			m.seqTrace = m.tracing
+			m.inlineFx = true
+			m.deferred = false
 			for _, c := range m.active {
 				if c.stepCompute(m.cycle) {
 					activity = true
 				}
 			}
+			m.inlineFx = false
 		}
 		m.applyPending(m.cycle)
 		m.tick(m.cycle)
@@ -409,11 +428,11 @@ func (m *Machine) stuckReport() string {
 			continue
 		}
 		fmt.Fprintf(&out, "\n  core %d hart %d: state=%d pc=%#x pcValid=%v rob=%d it=%d inflight=%d hasPred=%v sig=%v",
-			h.core.idx, h.idx, h.state, h.pc, h.pcValid, len(h.rob), len(h.it),
+			h.core.idx, h.idx, h.state, h.pc, h.pcValid, h.robN, len(h.it),
 			h.inflightMem, h.hasPred, h.predSignal)
-		if len(h.rob) > 0 {
-			u := h.rob[0]
-			fmt.Fprintf(&out, " head=%s done=%v", isa.Disassemble(u.inst, u.pc), u.done)
+		if h.robN > 0 {
+			u := h.robFront()
+			fmt.Fprintf(&out, " head=%s done=%v", isa.Disassemble(u.d.Inst, u.pc), u.done)
 		}
 	}
 	return out.String()
@@ -494,8 +513,7 @@ func (m *Machine) Reset(p *asm.Program) error {
 	m.stats = Stats{}
 	clear(m.hperf)
 	clear(m.cperf)
-	clear(m.decoded)
-	m.decoded = m.decoded[:0]
+	m.img = nil // the image is shared and immutable; just drop the reference
 	m.rebuildActive()
 	return m.LoadProgram(p)
 }

@@ -63,8 +63,8 @@ func classifyStall(h *hart) perf.StallCause {
 	if h.exec != nil && h.exec.memWait {
 		return perf.StallMem
 	}
-	if len(h.rob) > 0 {
-		u := h.rob[0]
+	if h.robN > 0 {
+		u := h.robFront()
 		switch {
 		case u.done:
 			if u.isRet {
@@ -82,7 +82,7 @@ func classifyStall(h *hart) perf.StallCause {
 			if !u.ready() {
 				return perf.StallOperand
 			}
-			switch u.inst.Op {
+			switch u.d.Inst.Op {
 			case isa.OpPFC, isa.OpPFN:
 				return perf.StallFork // no free hart to fork onto
 			case isa.OpPLWRE:
@@ -91,7 +91,7 @@ func classifyStall(h *hart) perf.StallCause {
 			if u.needsRB && h.exec != nil {
 				return perf.StallPipeline // 1-deep result buffer occupied
 			}
-			if u.cls == isa.ClassLoad || u.cls == isa.ClassStore {
+			if u.d.Cls == isa.ClassLoad || u.d.Cls == isa.ClassStore {
 				// held by the per-hart memory issue order
 				return perf.StallMem
 			}

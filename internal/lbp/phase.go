@@ -87,19 +87,42 @@ func (c *core) emit(kind trace.Kind, hartIdx int, value uint64) {
 	c.evbuf = append(c.evbuf, e)
 }
 
+// effect disposes of one phase-A effect. On a sharded cycle it always
+// defers to the core's pending stream, replayed by phase B in core
+// order. On a serial cycle (inlineFx) the cores already run in exactly
+// that order, so the effect applies immediately — skipping the stream
+// round-trip — with one exception: pendForkNext must still defer,
+// because its hart allocation re-resolves against the target core's
+// post-phase-A state. Once any item of the cycle has deferred, every
+// later item defers too (m.deferred), so relative order within the
+// stream — first fault wins, mem submissions FIFO — is preserved
+// exactly. inlineFx is false on sharded cycles, settled before the
+// workers start, so they never observe a true value or touch deferred.
+func (c *core) effect(it pendItem) {
+	m := c.m
+	if m.inlineFx && !m.deferred {
+		if it.kind != pendForkNext {
+			m.applyItem(c, &it, m.cycle)
+			return
+		}
+		m.deferred = true
+	}
+	c.pend = append(c.pend, it)
+}
+
 // faultf records a machine fault at its position in the stream, so that
 // the first fault in (core, stage) order wins exactly as it did under
 // sequential stepping. The message — identical to Machine.faultf's — is
 // fully formatted here; the fault path is cold.
 func (c *core) faultf(hartIdx int, format string, args ...any) {
-	c.pend = append(c.pend, pendItem{kind: pendFault, msg: fmt.Sprintf(
+	c.effect(pendItem{kind: pendFault, msg: fmt.Sprintf(
 		"lbp: cycle %d core %d hart %d: %s",
 		c.m.cycle, c.idx, hartIdx, fmt.Sprintf(format, args...))})
 }
 
 // deferHalt records a clean halt (p_ret exit identity, ecall/ebreak).
 func (c *core) deferHalt(msg string) {
-	c.pend = append(c.pend, pendItem{kind: pendHalt, msg: msg})
+	c.effect(pendItem{kind: pendHalt, msg: msg})
 }
 
 // applyPending is phase B: it replays every active core's pending
@@ -138,12 +161,15 @@ func (m *Machine) applyPending(now uint64) {
 func (m *Machine) applyItem(c *core, it *pendItem, now uint64) {
 	switch it.kind {
 	case pendLoad:
-		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed,
-			&loadClient{h: it.h, u: it.u})
+		// Re-arm the hart's reusable load client: the 1-deep result
+		// buffer guarantees at most one load in flight per hart.
+		lc := &it.h.ldc
+		lc.u, lc.v = it.u, 0
+		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed, lc)
 	case pendStore:
-		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w, &storeClient{h: it.h})
+		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w, &it.h.stc)
 	case pendCV:
-		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b, &storeClient{h: it.h})
+		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b, &it.h.stc)
 	case pendSwre:
 		th := m.harts[it.t]
 		msg := &swreMsg{m: m, fromCore: c.idx, fromHart: it.h.idx,

@@ -155,6 +155,10 @@ func (m *Machine) Checkpoint() ([]byte, error) {
 			return nil, fmt.Errorf("lbp: checkpoint mid-cycle: core %d has unapplied effects", c.idx)
 		}
 	}
+	decodedLen := 0
+	if m.img != nil {
+		decodedLen = len(m.img.descs)
+	}
 	cp := checkpoint{
 		Version:    checkpointVersion,
 		Cfg:        m.cfg,
@@ -165,7 +169,7 @@ func (m *Machine) Checkpoint() ([]byte, error) {
 		Progress:   m.progress,
 		Stats:      m.stats,
 		Profiling:  m.profiling,
-		DecodedLen: uint32(len(m.decoded)),
+		DecodedLen: uint32(decodedLen),
 		HPerf:      append([]perf.HartCounters(nil), m.hperf...),
 		CPerf:      append([]perf.CoreCounters(nil), m.cperf...),
 	}
@@ -282,13 +286,19 @@ func Restore(data []byte, devices ...Device) (*Machine, error) {
 	if err := m.Mem.RestoreState(&cp.Mem, clients); err != nil {
 		return nil, err
 	}
-	m.decoded = make([]isa.Inst, cp.DecodedLen)
-	for i := range m.decoded {
-		w, ok := m.Mem.FetchWord(uint32(4 * i))
-		if !ok {
-			return nil, fmt.Errorf("lbp: checkpoint decoded image exceeds the code bank")
+	if cp.DecodedLen > 0 {
+		words := make([]uint32, cp.DecodedLen)
+		for i := range words {
+			w, ok := m.Mem.FetchWord(uint32(4 * i))
+			if !ok {
+				return nil, fmt.Errorf("lbp: checkpoint decoded image exceeds the code bank")
+			}
+			words[i] = w
 		}
-		m.decoded[i] = isa.Decode(w)
+		// Same canonical key as LoadProgram (the full word image from
+		// address 0), so a restored machine shares the decoded image with
+		// machines that loaded the identical program directly.
+		m.img = sharedImage(words)
 	}
 	for _, c := range m.cores {
 		c.activeEdge = false
@@ -310,30 +320,35 @@ func Restore(data []byte, devices ...Device) (*Machine, error) {
 	return m, nil
 }
 
-// robIndex finds u in h's reorder buffer (-1 for nil; the buffer is at
-// most a few dozen entries, so the scan is fine on the cold path).
+// robIndex finds u in h's reorder buffer and returns its logical
+// position in ROB order (0 = oldest; -1 for nil). The buffer is at most
+// a few dozen entries, so the scan is fine on the cold path. Logical
+// positions keep the saved format independent of the ring's physical
+// head, so checkpoints from before the ring representation restore
+// identically.
 func robIndex(h *hart, u *uop) (int32, error) {
 	if u == nil {
 		return -1, nil
 	}
-	for i, v := range h.rob {
-		if v == u {
+	for i := 0; i < h.robN; i++ {
+		if h.robAt(i) == u {
 			return int32(i), nil
 		}
 	}
 	return -1, fmt.Errorf("lbp: hart %d references a uop outside its reorder buffer", h.gid)
 }
 
-// robAt resolves a saved ROB index back to a pointer (-1 = nil).
-func robAt(h *hart, idx int32) (*uop, error) {
+// robResolve resolves a saved logical ROB index back to a pointer
+// (-1 = nil).
+func robResolve(h *hart, idx int32) (*uop, error) {
 	if idx < 0 {
 		return nil, nil
 	}
-	if int(idx) >= len(h.rob) {
+	if int(idx) >= h.robN {
 		return nil, fmt.Errorf("lbp: checkpoint references rob slot %d of %d on hart %d",
-			idx, len(h.rob), h.gid)
+			idx, h.robN, h.gid)
 	}
-	return h.rob[idx], nil
+	return h.robAt(int(idx)), nil
 }
 
 func saveUop(h *hart, u *uop) (savedUop, error) {
@@ -346,7 +361,7 @@ func saveUop(h *hart, u *uop) (savedUop, error) {
 		return savedUop{}, err
 	}
 	return savedUop{
-		Raw: u.inst.Raw, PC: u.pc, Seq: u.seq,
+		Raw: u.d.Inst.Raw, PC: u.pc, Seq: u.seq,
 		Src1: u.src1, Src2: u.src2, Dep1: d1, Dep2: d2,
 		Issued: u.issued, Done: u.done, Value: u.value,
 		NeedsRB: u.needsRB, MemWait: u.memWait,
@@ -355,11 +370,13 @@ func saveUop(h *hart, u *uop) (savedUop, error) {
 }
 
 // restoreUopInto fills everything but the dependence edges, which need
-// the whole ROB rebuilt first.
+// the whole ROB rebuilt first. The descriptor is decoded standalone
+// (content-identical to the shared image's entry) because harts restore
+// before the code image does.
 func restoreUopInto(u *uop, su *savedUop) {
-	in := isa.Decode(su.Raw)
+	d := isa.DecodeDesc(su.Raw)
 	*u = uop{
-		inst: in, pc: su.PC, seq: su.Seq, cls: isa.ClassOf(in.Op),
+		d: &d, pc: su.PC, seq: su.Seq,
 		src1: su.Src1, src2: su.Src2,
 		issued: su.Issued, done: su.Done, value: su.Value,
 		needsRB: su.NeedsRB, memWait: su.MemWait,
@@ -377,9 +394,9 @@ func saveHart(h *hart) (savedHart, error) {
 		EndingEpoch: h.endingEpoch, LastCommit: h.lastCommit,
 	}
 	var err error
-	sh.Rob = make([]savedUop, len(h.rob))
-	for i, u := range h.rob {
-		if sh.Rob[i], err = saveUop(h, u); err != nil {
+	sh.Rob = make([]savedUop, h.robN)
+	for i := 0; i < h.robN; i++ {
+		if sh.Rob[i], err = saveUop(h, h.robAt(i)); err != nil {
 			return savedHart{}, err
 		}
 	}
@@ -430,25 +447,29 @@ func restoreHart(h *hart, sh *savedHart) error {
 	h.startedBy = sh.StartedBy
 	h.endingEpoch = sh.EndingEpoch
 	h.lastCommit = sh.LastCommit
-	h.rob = h.rob[:0]
+	if len(sh.Rob) > len(h.rob) {
+		return fmt.Errorf("lbp: checkpoint hart %d has %d rob entries, capacity is %d",
+			h.gid, len(sh.Rob), len(h.rob))
+	}
+	h.robClear()
 	for i := range sh.Rob {
 		u := h.newUop()
 		restoreUopInto(u, &sh.Rob[i])
-		h.rob = append(h.rob, u)
+		h.robPush(u)
 	}
 	for i := range sh.Rob {
 		su := &sh.Rob[i]
 		var err error
-		if h.rob[i].dep1, err = robAt(h, su.Dep1); err != nil {
+		if h.robAt(i).dep1, err = robResolve(h, su.Dep1); err != nil {
 			return err
 		}
-		if h.rob[i].dep2, err = robAt(h, su.Dep2); err != nil {
+		if h.robAt(i).dep2, err = robResolve(h, su.Dep2); err != nil {
 			return err
 		}
 	}
 	h.it = h.it[:0]
 	for _, idx := range sh.IT {
-		u, err := robAt(h, idx)
+		u, err := robResolve(h, idx)
 		if err != nil {
 			return err
 		}
@@ -458,13 +479,13 @@ func restoreHart(h *hart, sh *savedHart) error {
 		h.it = append(h.it, u)
 	}
 	for r := range sh.LastWriter {
-		u, err := robAt(h, sh.LastWriter[r])
+		u, err := robResolve(h, sh.LastWriter[r])
 		if err != nil {
 			return err
 		}
 		h.lastWriter[r] = u
 	}
-	exec, err := robAt(h, sh.Exec)
+	exec, err := robResolve(h, sh.Exec)
 	if err != nil {
 		return err
 	}
@@ -526,20 +547,24 @@ func (m *Machine) restoreClient(sc *savedClient) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		u, err := robAt(h, sc.Rob)
+		u, err := robResolve(h, sc.Rob)
 		if err != nil {
 			return nil, err
 		}
 		if u == nil {
 			return nil, fmt.Errorf("lbp: in-flight load on hart %d has no uop", sc.Hart)
 		}
-		return &loadClient{h: h, u: u, v: sc.Val}, nil
+		// Re-arm the hart's pooled client (at most one load in flight
+		// per hart, so the slot is necessarily free).
+		lc := &h.ldc
+		lc.u, lc.v = u, sc.Val
+		return lc, nil
 	case clientStore:
 		h, err := hartAt(sc.Hart)
 		if err != nil {
 			return nil, err
 		}
-		return &storeClient{h: h}, nil
+		return &h.stc, nil
 	case clientSwre:
 		if _, err := hartAt(sc.Tgt); err != nil {
 			return nil, err

@@ -171,3 +171,82 @@ func TestReadSharedSliceBounds(t *testing.T) {
 		t.Errorf("zero-length read = (%v, %v), want empty ok", v, ok)
 	}
 }
+
+// TestCheckpointResumeHostKnobMatrix splits one run at its midpoint and
+// resumes it under every crossing of the host-side execution knobs
+// (worker count x fast-forward), with the checkpoint leg itself run
+// under every crossing too. The machine is large enough that worker
+// counts above 1 genuinely engage the sharded compute phase, so the
+// matrix proves the checkpoint format and the batched stepper agree on
+// bit-identical state no matter which stepping mode produced or
+// consumes a checkpoint.
+func TestCheckpointResumeHostKnobMatrix(t *testing.T) {
+	const cores, nt = 16, 48
+	const budget = 4_000_000
+	type knobs struct {
+		workers int
+		ffwd    bool
+	}
+	settings := []knobs{{1, true}, {1, false}, {3, true}, {3, false}}
+
+	prog, err := asm.Assemble(sprintf(teamProgram, nt, nt), asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	newM := func(k knobs) *Machine {
+		m := New(DefaultConfig(cores))
+		m.SetTrace(trace.New(0))
+		m.SetSimWorkers(k.workers)
+		m.SetFastForward(k.ffwd)
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		return m
+	}
+	base := newM(knobs{1, true})
+	baseRes, err := base.Run(budget)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkTeamResult(t, base, nt)
+	split := baseRes.Stats.Cycles / 2
+
+	for _, kc := range settings {
+		m := newM(kc)
+		if res, err := m.Advance(split); err != nil || res != nil {
+			t.Fatalf("%+v: advance to %d: res=%v err=%v", kc, split, res, err)
+		}
+		cp, err := m.Checkpoint()
+		if err != nil {
+			t.Fatalf("%+v: checkpoint: %v", kc, err)
+		}
+		for _, kr := range settings {
+			m2, err := Restore(cp)
+			if err != nil {
+				t.Fatalf("%+v->%+v: restore: %v", kc, kr, err)
+			}
+			m2.SetSimWorkers(kr.workers)
+			m2.SetFastForward(kr.ffwd)
+			res2, err := m2.Run(budget)
+			if err != nil {
+				t.Fatalf("%+v->%+v: resumed run: %v", kc, kr, err)
+			}
+			if res2.Halt != baseRes.Halt {
+				t.Errorf("%+v->%+v: halt = %q, want %q", kc, kr, res2.Halt, baseRes.Halt)
+			}
+			if !reflect.DeepEqual(ignoreFastForwarded(res2.Stats), ignoreFastForwarded(baseRes.Stats)) {
+				t.Errorf("%+v->%+v: stats diverge:\n  split  %+v\n  single %+v",
+					kc, kr, res2.Stats, baseRes.Stats)
+			}
+			if res2.Mem != baseRes.Mem {
+				t.Errorf("%+v->%+v: memory stats diverge", kc, kr)
+			}
+			if !trace.Same(m2.Trace(), base.Trace()) {
+				t.Errorf("%+v->%+v: trace diverges: digest %#x/%d, want %#x/%d", kc, kr,
+					m2.Trace().Digest(), m2.Trace().Count(),
+					base.Trace().Digest(), base.Trace().Count())
+			}
+			checkTeamResult(t, m2, nt)
+		}
+	}
+}

@@ -8,7 +8,8 @@ import (
 // X_PAR semantics: hart allocation (p_fc/p_fn), identity manipulation
 // (p_set/p_merge), continuation-value transmission (p_swcv), inter-team
 // result transmission (p_swre/p_lwre), and the p_ret ending protocol with
-// its four ending types (Figure 6 of the paper).
+// its four ending types (Figure 6 of the paper). Each instruction is its
+// own execTab entry (exec.go).
 
 // resolveLink extracts the hart designated for forward-direction actions
 // (fork continuation, continuation values): the link field of an identity
@@ -53,69 +54,69 @@ func (c *core) freeHartAfter(after int) *hart {
 	return nil
 }
 
-// execXPar runs the non-memory X_PAR instructions at issue.
-func (c *core) execXPar(h *hart, u *uop, now uint64) {
-	in := &u.inst
-	lat := now + uint64(c.m.cfg.ALULat)
-	switch in.Op {
-	case isa.OpPFC:
-		// Same-core fork: the allocation is core-local, so it happens in
-		// phase A like every other own-state mutation.
-		fh := c.freeHartAfter(h.idx)
-		if fh == nil {
-			// canIssue guarantees availability
-			c.faultf(h.idx, "fork allocation raced (pc %#x)", u.pc)
-			return
-		}
-		fh.allocate(&c.m.cfg, h.gid, now)
-		u.value = fh.gid
-		c.statForks++
-		c.emit(trace.KindFork, h.idx, uint64(fh.gid))
-		c.startExec(h, u, lat)
-	case isa.OpPFN:
-		// Next-core fork: the allocation mutates the neighbor, so it is
-		// deferred to phase B, which re-resolves the free hart in core
-		// order and patches u.value before writeback can read it. The
-		// fork event's value (the new gid) is unknown until then, so a
-		// placeholder is reserved at the event's sequential position and
-		// patched by the same item.
-		if c.idx+1 >= len(c.m.cores) {
-			c.faultf(h.idx, "p_fn past the last core (pc %#x)", u.pc)
-			return
-		}
-		var evIdx uint32
-		if c.m.tracing {
-			if c.m.seqTrace {
-				// Serial cycles fold events live; from here to the cycle
-				// boundary they must buffer instead, so the placeholder can
-				// be patched before it reaches the digest. (Read-guarded:
-				// on sharded cycles the flag is already false and workers
-				// only read it.)
-				c.m.seqTrace = false
-			}
-			c.emit(trace.KindFork, h.idx, 0)
-			evIdx = uint32(len(c.evbuf))
-		}
-		c.pend = append(c.pend, pendItem{kind: pendForkNext, h: h, u: u, a: evIdx})
-		c.startExec(h, u, lat)
-	case isa.OpPSET:
-		u.value = isa.PSet(u.src1, h.gid)
-		c.startExec(h, u, lat)
-	case isa.OpPMERGE:
-		u.value = isa.PMerge(u.src1, u.src2)
-		c.startExec(h, u, lat)
-	case isa.OpPLWRE:
-		v, ok := h.popRemote(int(in.Imm))
-		if !ok {
-			c.faultf(h.idx, "p_lwre from empty result buffer %d (pc %#x)", in.Imm, u.pc)
-			return
-		}
-		u.value = v
-		c.emit(trace.KindRecv, h.idx, uint64(v))
-		c.startExec(h, u, lat)
-	default:
-		c.faultf(h.idx, "unhandled X_PAR op %v (pc %#x)", in.Op, u.pc)
+// execPFC performs a same-core fork: the allocation is core-local, so it
+// happens in phase A like every other own-state mutation.
+func (c *core) execPFC(h *hart, u *uop, now uint64) {
+	fh := c.freeHartAfter(h.idx)
+	if fh == nil {
+		// canIssue guarantees availability
+		c.faultf(h.idx, "fork allocation raced (pc %#x)", u.pc)
+		return
 	}
+	fh.allocate(&c.m.cfg, h.gid, now)
+	u.value = fh.gid
+	c.statForks++
+	c.emit(trace.KindFork, h.idx, uint64(fh.gid))
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+// execPFN performs a next-core fork: the allocation mutates the neighbor,
+// so it is deferred to phase B, which re-resolves the free hart in core
+// order and patches u.value before writeback can read it. The fork
+// event's value (the new gid) is unknown until then, so a placeholder is
+// reserved at the event's sequential position and patched by the same
+// item.
+func (c *core) execPFN(h *hart, u *uop, now uint64) {
+	if c.idx+1 >= len(c.m.cores) {
+		c.faultf(h.idx, "p_fn past the last core (pc %#x)", u.pc)
+		return
+	}
+	var evIdx uint32
+	if c.m.tracing {
+		if c.m.seqTrace {
+			// Serial cycles fold events live; from here to the cycle
+			// boundary they must buffer instead, so the placeholder can
+			// be patched before it reaches the digest. (Read-guarded:
+			// on sharded cycles the flag is already false and workers
+			// only read it.)
+			c.m.seqTrace = false
+		}
+		c.emit(trace.KindFork, h.idx, 0)
+		evIdx = uint32(len(c.evbuf))
+	}
+	c.effect(pendItem{kind: pendForkNext, h: h, u: u, a: evIdx})
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func execPSET(c *core, h *hart, u *uop, now uint64) {
+	u.value = isa.PSet(u.src1, h.gid)
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func execPMERGE(c *core, h *hart, u *uop, now uint64) {
+	u.value = isa.PMerge(u.src1, u.src2)
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
+}
+
+func (c *core) execPLWRE(h *hart, u *uop, now uint64) {
+	v, ok := h.popRemote(int(u.d.Inst.Imm))
+	if !ok {
+		c.faultf(h.idx, "p_lwre from empty result buffer %d (pc %#x)", u.d.Inst.Imm, u.pc)
+		return
+	}
+	u.value = v
+	c.emit(trace.KindRecv, h.idx, uint64(v))
+	c.startExec(h, u, now+c.m.latTab[isa.LatALU])
 }
 
 // execSwcv stores a continuation value on the stack of the designated
@@ -133,13 +134,13 @@ func (c *core) execSwcv(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "p_swcv target hart %d is not on the same or next core (pc %#x)", tgt, u.pc)
 		return
 	}
-	addr := c.m.cfg.SPInit(th.idx) + uint32(u.inst.Imm)
+	addr := c.m.cfg.SPInit(th.idx) + uint32(u.d.Inst.Imm)
 	h.inflightMem++
 	if !c.m.Mem.LocalMapped(addr) {
 		c.faultf(h.idx, "p_swcv to unmapped stack address %#x (pc %#x)", addr, u.pc)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendCV, h: h, t: uint32(tc), a: addr, b: u.src2})
+	c.effect(pendItem{kind: pendCV, h: h, t: uint32(tc), a: addr, b: u.src2})
 	u.done = true
 }
 
@@ -156,8 +157,8 @@ func (c *core) execSwre(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "p_swre target hart %d is on a later core (pc %#x)", tgt, u.pc)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendSwre, h: h, u: u,
-		t: tgt, a: u.src2, b: uint32(u.inst.Imm)})
+	c.effect(pendItem{kind: pendSwre, h: h, u: u,
+		t: tgt, a: u.src2, b: uint32(u.d.Inst.Imm)})
 	c.statSends++
 	c.emit(trace.KindSend, h.idx, uint64(u.src2))
 	u.done = true
@@ -176,7 +177,7 @@ func (c *core) sendStart(h *hart, tgt uint32, pc uint32) {
 		c.faultf(h.idx, "start target hart %d is not on the same or next core", tgt)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendStart, h: h, t: tgt, a: pc})
+	c.effect(pendItem{kind: pendStart, h: h, t: tgt, a: pc})
 }
 
 // doRet performs the four ending types of a committed p_ret (Figure 6):
@@ -241,7 +242,7 @@ func (c *core) sendSignal(h *hart, link uint32) {
 		c.faultf(h.idx, "ending signal target hart %d is not on the same or next core", link)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendSignal, h: h, t: link})
+	c.effect(pendItem{kind: pendSignal, h: h, t: link})
 }
 
 // sendJoin delivers a join address backward to the home hart.
@@ -255,5 +256,5 @@ func (c *core) sendJoin(h *hart, home uint32, addr uint32) {
 		c.faultf(h.idx, "join target hart %d is on a later core (a data cannot go back in time)", home)
 		return
 	}
-	c.pend = append(c.pend, pendItem{kind: pendJoin, h: h, t: home, a: addr})
+	c.effect(pendItem{kind: pendJoin, h: h, t: home, a: addr})
 }

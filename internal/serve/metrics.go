@@ -3,9 +3,11 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/lbp"
 	"repro/internal/sim"
 )
 
@@ -29,6 +31,18 @@ type metrics struct {
 
 	simCycles atomic.Uint64 // simulated cycles across all runs (partial included)
 	runNanos  atomic.Uint64 // host wall nanoseconds inside the simulator
+
+	// lastJobCPS is the simulated-cycles-per-second of the most recently
+	// completed job (math.Float64bits encoded), the per-job throughput
+	// gauge next to the lifetime aggregate.
+	lastJobCPS atomic.Uint64
+}
+
+// recordJobThroughput publishes one completed job's cycles/s.
+func (m *metrics) recordJobThroughput(cycles uint64, seconds float64) {
+	if seconds > 0 {
+		m.lastJobCPS.Store(math.Float64bits(float64(cycles) / seconds))
+	}
 }
 
 // writePrometheus emits the Prometheus text exposition format
@@ -64,4 +78,10 @@ func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int, cs 
 		cps = float64(m.simCycles.Load()) / (float64(ns) / 1e9)
 	}
 	gauge("lbp_serve_sim_cycles_per_second", "Lifetime simulated cycles per host second of run time.", cps)
+	gauge("lbp_serve_last_job_sim_cycles_per_second", "Simulated cycles per host second of the most recently completed job.",
+		math.Float64frombits(m.lastJobCPS.Load()))
+	dh, dm, de := lbp.DecodeCacheStats()
+	counter("lbp_serve_decode_cache_hits_total", "Program loads served by an already-decoded shared image.", dh)
+	counter("lbp_serve_decode_cache_misses_total", "Program loads that decoded a fresh image.", dm)
+	gauge("lbp_serve_decode_cache_entries", "Decoded program images currently cached.", float64(de))
 }

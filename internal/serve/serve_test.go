@@ -456,10 +456,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"lbp_serve_pool_misses_total 1",
 		"lbp_serve_sim_cycles_total",
 		"lbp_serve_sim_cycles_per_second",
+		"lbp_serve_last_job_sim_cycles_per_second",
+		"lbp_serve_decode_cache_hits_total",
+		"lbp_serve_decode_cache_misses_total",
+		"lbp_serve_decode_cache_entries",
 	} {
 		if !strings.Contains(page, series) {
 			t.Errorf("metrics page missing %q:\n%s", series, page)
 		}
+	}
+	// A job completed, so the per-job throughput gauge must be nonzero.
+	if strings.Contains(page, "lbp_serve_last_job_sim_cycles_per_second 0\n") {
+		t.Errorf("last-job throughput gauge is zero after a completed job:\n%s", page)
 	}
 }
 

@@ -281,6 +281,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.res.PoolWarm = warm
+	startCycle := sess.Machine().Cycle() // nonzero when resuming a checkpoint
 	runCtx, cancel := context.WithTimeout(j.ctx, j.deadline)
 	defer cancel()
 	res, err := sess.RunSliced(s.cfg.Slice, func(uint64) error {
@@ -313,6 +314,7 @@ func (s *Server) runJob(j *job) {
 		j.res.Status = StatusOK
 		j.res.fill(sess, res, j.req.Ring)
 		s.met.completed.Add(1)
+		s.met.recordJobThroughput(sess.Machine().Cycle()-startCycle, elapsed.Seconds())
 		s.pool.Put(sess)
 		s.storeResult(j)
 	case errors.Is(err, errPreempted):

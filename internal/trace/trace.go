@@ -8,7 +8,10 @@
 // paper's cycle-determinism property (experiment E4 in DESIGN.md).
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Kind labels an event class.
 type Kind uint8
@@ -62,6 +65,59 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+// fnvPow[k] = fnvPrime^k mod 2^64. Folding a zero byte is
+// h = (h ^ 0) * prime = h * prime, so a run of k zero bytes collapses to
+// one multiplication by prime^k — the event words are mostly-zero
+// (cycle counts, hart numbers, kinds are small), and the digest fold is
+// the hot loop of every traced run, so the collapse is worth the table.
+var fnvPow = func() [33]uint64 {
+	var p [33]uint64
+	p[0] = 1
+	for i := 1; i < len(p); i++ {
+		p[i] = p[i-1] * fnvPrime
+	}
+	return p
+}()
+
+// flushZeros folds zrun pending zero bytes into h.
+func flushZeros(h uint64, zrun int) uint64 {
+	for zrun >= 32 {
+		h *= fnvPow[32]
+		zrun -= 32
+	}
+	return h * fnvPow[zrun]
+}
+
+// foldWord folds the 8 little-endian bytes of w into h, byte-identical
+// to the reference per-byte FNV-1a loop. Zero bytes at the low end join
+// the caller's pending run; zero bytes at the high end are returned as
+// the new pending run, so runs spanning word (and event) boundaries
+// still collapse.
+func foldWord(h uint64, w uint64, zrun int) (uint64, int) {
+	if w == 0 {
+		return h, zrun + 8
+	}
+	tz := bits.TrailingZeros64(w) >> 3
+	h = flushZeros(h, zrun+tz)
+	hi := 8 - bits.LeadingZeros64(w)>>3
+	w >>= uint(tz * 8)
+	for i := tz; i < hi; i++ {
+		h ^= w & 0xFF
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h, 8 - hi
+}
+
+// foldEvent folds one event's four words, carrying the zero run.
+func foldEvent(h uint64, e *Event, zrun int) (uint64, int) {
+	h, zrun = foldWord(h, e.Cycle, zrun)
+	h, zrun = foldWord(h, uint64(e.Core)<<8|uint64(e.Hart), zrun)
+	h, zrun = foldWord(h, uint64(e.Kind), zrun)
+	h, zrun = foldWord(h, e.Value, zrun)
+	return h, zrun
+}
+
 // Recorder accumulates events. The zero value records nothing; use New.
 type Recorder struct {
 	digest uint64
@@ -82,15 +138,8 @@ func New(ringSize int) *Recorder {
 
 // Add folds an event into the digest.
 func (r *Recorder) Add(e Event) {
-	h := r.digest
-	for _, w := range [4]uint64{e.Cycle, uint64(e.Core)<<8 | uint64(e.Hart), uint64(e.Kind), e.Value} {
-		for i := 0; i < 8; i++ {
-			h ^= w & 0xFF
-			h *= fnvPrime
-			w >>= 8
-		}
-	}
-	r.digest = h
+	h, zrun := foldEvent(r.digest, &e, 0)
+	r.digest = flushZeros(h, zrun)
 	r.count++
 	if r.ring != nil {
 		r.ring[r.next] = e
@@ -107,18 +156,11 @@ func (r *Recorder) Add(e Event) {
 // the simulator drains one core's cycle worth of events at a time, and
 // the per-call overhead of Add is measurable at that rate.
 func (r *Recorder) AddBatch(evs []Event) {
-	h := r.digest
+	h, zrun := r.digest, 0
 	for i := range evs {
-		e := &evs[i]
-		for _, w := range [4]uint64{e.Cycle, uint64(e.Core)<<8 | uint64(e.Hart), uint64(e.Kind), e.Value} {
-			for i := 0; i < 8; i++ {
-				h ^= w & 0xFF
-				h *= fnvPrime
-				w >>= 8
-			}
-		}
+		h, zrun = foldEvent(h, &evs[i], zrun)
 	}
-	r.digest = h
+	r.digest = flushZeros(h, zrun)
 	r.count += uint64(len(evs))
 	if r.ring != nil {
 		for _, e := range evs {

@@ -151,3 +151,77 @@ func TestQuickOrderSensitivity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// refFold is the straight-line reference FNV-1a fold the optimized
+// zero-run fold in Add/AddBatch must match byte for byte.
+func refFold(h uint64, evs []Event) uint64 {
+	for _, e := range evs {
+		for _, w := range [4]uint64{e.Cycle, uint64(e.Core)<<8 | uint64(e.Hart), uint64(e.Kind), e.Value} {
+			for i := 0; i < 8; i++ {
+				h ^= w & 0xFF
+				h *= fnvPrime
+				w >>= 8
+			}
+		}
+	}
+	return h
+}
+
+func TestDigestMatchesReference(t *testing.T) {
+	cases := [][]Event{
+		nil,
+		{{}}, // all-zero event: a 32-byte zero run
+		{{}, {}, {}},
+		{{Cycle: 1, Core: 2, Hart: 3, Kind: KindFork, Value: 4}},
+		{{Cycle: 0xFFFFFFFFFFFFFFFF, Value: 0xFFFFFFFFFFFFFFFF, Core: 0xFFFF, Hart: 0xFF, Kind: Kind(255)}},
+		{{Cycle: 0x0100}, {Value: 0x01000000_00000000}}, // interior and leading zeros
+		{{Cycle: 0x00FF00FF00FF00FF, Value: 0xFF00FF00FF00FF00}},
+	}
+	for i, evs := range cases {
+		ra, rb := New(0), New(0)
+		for _, e := range evs {
+			ra.Add(e)
+		}
+		rb.AddBatch(evs)
+		want := refFold(fnvOffset, evs)
+		if ra.Digest() != want {
+			t.Errorf("case %d: Add digest %#x, reference %#x", i, ra.Digest(), want)
+		}
+		if rb.Digest() != want {
+			t.Errorf("case %d: AddBatch digest %#x, reference %#x", i, rb.Digest(), want)
+		}
+	}
+	if err := quick.Check(func(evs []Event) bool {
+		r := New(0)
+		r.AddBatch(evs)
+		return r.Digest() == refFold(fnvOffset, evs)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// quick generates uniform random words (few zero bytes); also sweep
+	// sparse events, where the zero-run path does the real work.
+	for cyc := uint64(0); cyc < 300; cyc += 7 {
+		evs := []Event{
+			{Cycle: cyc, Kind: KindCommit, Value: cyc * cyc},
+			{Cycle: cyc, Core: 1, Kind: KindFetch},
+		}
+		r := New(0)
+		r.AddBatch(evs)
+		if want := refFold(fnvOffset, evs); r.Digest() != want {
+			t.Fatalf("cycle %d: digest %#x, reference %#x", cyc, r.Digest(), want)
+		}
+	}
+}
+
+func BenchmarkAddBatch(b *testing.B) {
+	evs := make([]Event, 256)
+	for i := range evs {
+		evs[i] = Event{Cycle: uint64(4000 + i), Core: uint16(i % 64), Hart: uint8(i % 4),
+			Kind: Kind(i % int(numKinds)), Value: uint64(i * 2654435761)}
+	}
+	r := New(0)
+	b.SetBytes(int64(len(evs) * 32))
+	for i := 0; i < b.N; i++ {
+		r.AddBatch(evs)
+	}
+}

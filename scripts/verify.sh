@@ -81,6 +81,9 @@ echo "verify: lbp-fuzz smoke OK"
 if [ -n "$fig" ]; then
     go run ./cmd/lbp-bench -fig "$fig" -outdir out/
     go run ./cmd/benchdiff "BENCH_fig$fig.json" "out/BENCH_fig$fig.json"
+    # Host-side interpreter throughput (cycles/s): steady-state numbers
+    # from the Go microbenchmarks, for eyeballing against EXPERIMENTS E17.
+    go test ./internal/lbp -run '^$' -bench 'BenchmarkMachineStep|BenchmarkFigRow' -benchtime 1s
 fi
 
 echo "verify: OK"
