@@ -132,10 +132,10 @@ func TestCLIBenchUnknownFig(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bench := buildTool(t, dir, "lbp-bench")
-	out, err := exec.Command(bench, "-fig", "22").CombinedOutput()
+	out, err := exec.Command(bench, "-fig", "99").CombinedOutput()
 	var exitErr *exec.ExitError
 	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
-		t.Fatalf("-fig 22: err = %v, want exit code 2\n%s", err, out)
+		t.Fatalf("-fig 99: err = %v, want exit code 2\n%s", err, out)
 	}
 	for _, want := range []string{"unknown -fig", "19", "response", "locality"} {
 		if !strings.Contains(string(out), want) {
@@ -370,6 +370,47 @@ func TestCLIRunWorkersValidation(t *testing.T) {
 	out := runTool(t, lbprun, "-cores", "1", "-simworkers", "2", "-tail", "0", "testdata/hello.s")
 	if !strings.Contains(out, "halt:     exit") {
 		t.Errorf("valid -simworkers run: %s", out)
+	}
+}
+
+// TestCLICoresValidation: every entry point bounds the machine geometry
+// to [1, 1024] cores. lbp-run and lbp-cc reject out-of-range -cores as a
+// usage error (exit 2) naming the bound; in-range values still run.
+func TestCLICoresValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	lbprun := buildTool(t, dir, "lbp-run")
+	lbpcc := buildTool(t, dir, "lbp-cc")
+	for _, tc := range []struct {
+		bin  string
+		args []string
+	}{
+		{lbprun, []string{"-cores", "0", "testdata/hello.s"}},
+		{lbprun, []string{"-cores", "-3", "testdata/hello.s"}},
+		{lbprun, []string{"-cores", "1025", "testdata/hello.s"}},
+		{lbpcc, []string{"-cores", "-1", "testdata/vecsum.c"}},
+		{lbpcc, []string{"-cores", "2000", "testdata/vecsum.c"}},
+	} {
+		out, err := exec.Command(tc.bin, tc.args...).CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Errorf("%s %v: err = %v, want exit code 2\n%s", filepath.Base(tc.bin), tc.args, err, out)
+		}
+		if !strings.Contains(string(out), "[1, 1024]") {
+			t.Errorf("%s %v error message must name the bound: %s", filepath.Base(tc.bin), tc.args, out)
+		}
+	}
+	// The boundary geometries themselves are accepted: 1 core runs, and
+	// 1024 cores build (lbp-cc only places banks, so it stays cheap).
+	out := runTool(t, lbprun, "-cores", "1", "testdata/hello.s")
+	if !strings.Contains(out, "halt:     exit") {
+		t.Errorf("-cores 1 run: %s", out)
+	}
+	cc := runTool(t, lbpcc, "-cores", "1024", "testdata/vecsum.c")
+	if !strings.Contains(cc, "LBP_parallel_start") {
+		t.Errorf("-cores 1024 compile: %.300s", cc)
 	}
 }
 

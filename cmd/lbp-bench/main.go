@@ -4,7 +4,8 @@
 // experiments of DESIGN.md: cycle determinism (det), latency hiding vs
 // hart count (harts), deterministic I/O (io), two-phase locality
 // (locality), the design-parameter sweeps (ablate), the Figure 15
-// multi-chip lines (chips) and the input-to-actuation sweep (response).
+// multi-chip lines (chips), the input-to-actuation sweep (response) and
+// the 64/256/1024-core weak-scaling sweep (fig 22, experiment E18).
 //
 // Independent simulations (matmul variants, sweep points, determinism
 // repeats) fan out across -parallel worker goroutines; each simulated
@@ -16,7 +17,7 @@
 //
 // Usage:
 //
-//	lbp-bench [-parallel N] [-simworkers N] [-json] [-outdir DIR] [-profile] [-phases N] [-cpuprofile FILE] [-memprofile FILE] -fig 19|20|21|det|harts|io|locality|ablate|chips|response|all
+//	lbp-bench [-parallel N] [-simworkers N] [-json] [-outdir DIR] [-profile] [-phases N] [-cpuprofile FILE] [-memprofile FILE] -fig 19|20|21|22|det|harts|io|locality|ablate|chips|response|all
 //
 // -profile embeds a deterministic performance-counter snapshot (cycle
 // attribution by stall cause, retired mix, stage occupancy, per-link-class
@@ -58,7 +59,7 @@ import (
 )
 
 // figNames lists the valid -fig values in run order.
-var figNames = []string{"19", "20", "21", "det", "harts", "io", "locality", "ablate", "chips", "response"}
+var figNames = []string{"19", "20", "21", "22", "det", "harts", "io", "locality", "ablate", "chips", "response"}
 
 func main() {
 	fig := flag.String("fig", "all", "which figure/experiment to run: "+strings.Join(figNames, "|")+"|all")
@@ -153,6 +154,7 @@ func main() {
 	run("19", func() error { return matmulFigure(16) })
 	run("20", func() error { return matmulFigure(64) })
 	run("21", func() error { return matmulFigure(256) })
+	run("22", scaleFigure)
 	run("det", determinism)
 	run("harts", ablation)
 	run("io", ioExperiment)
@@ -260,6 +262,36 @@ func matmulFigure(h int) error {
 		}{figures.FigureForHarts(h), det, phi})
 	}
 	fmt.Print(figures.FormatMatmulFigure(rows, phi))
+	return nil
+}
+
+// scaleFigure runs the E18 weak-scaling sweep (64/256/1024 cores) and
+// records it as BENCH_fig22.json, reusing the matmul-figure row shape
+// so benchdiff tracks its cycles, digests and host throughput.
+func scaleFigure() error {
+	start := time.Now()
+	rows, err := figures.RunScaleFigure()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if err := writeBenchRecord(figures.FigureScale, rows, nil, wall); err != nil {
+		return err
+	}
+	if jsonMode {
+		det := make([]figures.MatmulRow, len(rows))
+		copy(det, rows)
+		for i := range det {
+			det[i].Host = nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Figure int                 `json:"figure"`
+			Rows   []figures.MatmulRow `json:"rows"`
+		}{figures.FigureScale, det})
+	}
+	fmt.Print(figures.FormatScaleFigure(rows))
 	return nil
 }
 

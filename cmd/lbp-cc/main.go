@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/cc"
+	"repro/internal/lbp"
 )
 
 func main() {
@@ -36,6 +37,12 @@ func main() {
 	if *reserve >= *bank {
 		fmt.Fprintf(os.Stderr, "lbp-cc: -reserve %d must be smaller than the %d-byte bank\n", *reserve, *bank)
 		os.Exit(2)
+	}
+	if *cores != 0 {
+		if err := lbp.ValidateGeometry(*cores, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "lbp-cc: -cores: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

@@ -29,7 +29,7 @@ import (
 func main() {
 	n := flag.Int("n", 100, "number of programs to generate and check")
 	seed := flag.Int64("seed", 1, "master seed (each program derives its own sub-seed)")
-	maxCores := flag.Int("maxcores", 4, "largest machine of the cores ladder {1,2,4}")
+	maxCores := flag.Int("maxcores", 4, "largest machine of the cores ladder {1,2,4,256}")
 	maxCycles := flag.Uint64("max", 0, "cycle budget per run (0 = 20M)")
 	workers := flag.String("workers", "1,3", "comma-separated -simworkers values to cross")
 	ffwd := flag.String("ffwd", "both", "fast-forward settings to cross: both|on|off")

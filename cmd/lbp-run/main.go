@@ -62,6 +62,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbp-run: -simworkers %d must not be negative (0 = all CPUs)\n", *simWorkers)
 		os.Exit(2)
 	}
+	if err := lbp.ValidateGeometry(*cores, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "lbp-run: -cores: %v\n", err)
+		os.Exit(2)
+	}
 	if *tail < 0 {
 		fmt.Fprintf(os.Stderr, "lbp-run: -tail %d must not be negative\n", *tail)
 		os.Exit(2)

@@ -23,8 +23,10 @@ type CheckOptions struct {
 	Workers []int
 	// FFwd are the fast-forward settings (nil = {true, false}).
 	FFwd []bool
-	// MaxCores caps the cores ladder {1,2,4} (0 = 4). Programs run on
-	// every ladder entry >= their MinCores.
+	// MaxCores caps the cores ladder {1,2,4,256} (0 = 4). Programs run
+	// on every ladder entry >= their MinCores. The default cap keeps
+	// smoke campaigns fast; raising it to 256 adds a deep-router-tree
+	// geometry to every check.
 	MaxCores int
 }
 
@@ -44,10 +46,13 @@ func (o CheckOptions) withDefaults() CheckOptions {
 	return o
 }
 
-// coresLadder lists the machine sizes a program is checked on.
+// coresLadder lists the machine sizes a program is checked on. The
+// 256-core rung runs the same programs through a three-level router
+// hierarchy (degree 4), where a divergence would implicate the
+// generalized tree rather than the program.
 func coresLadder(minCores, maxCores int) []int {
 	var out []int
-	for _, c := range []int{1, 2, 4} {
+	for _, c := range []int{1, 2, 4, 256} {
 		if c >= minCores && c <= maxCores {
 			out = append(out, c)
 		}

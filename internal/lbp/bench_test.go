@@ -12,6 +12,8 @@ package lbp_test
 import (
 	"testing"
 
+	"repro/internal/asm"
+	"repro/internal/cc"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -92,6 +94,96 @@ func BenchmarkFigRow(b *testing.B) {
 				}
 				cycles += res.Stats.Cycles
 				pool.Put(sess)
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkPhaseBCommit measures the commit-lane merge on a message-
+// dense workload: the placed set/get program at 256 cores, where every
+// hart forks, sends and joins, so phase B replays a pending item on
+// most cores most cycles. The serial sub-benchmark drives the single
+// coordinator lane (inline effects, lane replay); the sharded ones add
+// per-worker lane pre-materialization and the deterministic core-order
+// merge. Digests are identical across all three — only the host
+// throughput moves.
+func BenchmarkPhaseBCommit(b *testing.B) {
+	src := `
+#define H 1024
+#define CHUNK 16
+#define RESW 128
+
+int *vchunk(int t) { return lbp_bank_ptr(t >> 2) + RESW + (t & 3) * CHUNK; }
+
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i;
+		p = vchunk(t);
+		for (i = 0; i < CHUNK; i++) { *p = t + i; p = p + 1; }
+	}
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i; int acc;
+		p = vchunk(t);
+		acc = 0;
+		for (i = 0; i < CHUNK; i++) { acc = acc + *p; p = p + 1; }
+		*vchunk(t) = acc;
+	}
+}
+`
+	opt := cc.DefaultOptions()
+	opt.Cores = 256
+	opt.BankReserveBytes = 512
+	asmText, err := cc.BuildProgram(src, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"lanes-2w", 2},
+		{"lanes-4w", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sess, err := sim.New(sim.Spec{
+				Program:    prog,
+				Cores:      256,
+				MaxCycles:  50_000_000,
+				Trace:      sim.TraceSpec{Digest: true},
+				SimWorkers: bc.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			var digest uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sess.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+				d := sess.Recorder().Digest()
+				if digest == 0 {
+					digest = d
+				} else if d != digest {
+					b.Fatalf("digest drifted: %#x != %#x", d, digest)
+				}
+				b.StopTimer()
+				if err := sess.Reset(prog); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
 			}
 			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 		})

@@ -15,6 +15,8 @@
 package lbp
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
@@ -72,6 +74,28 @@ func DefaultConfig(n int) Config {
 
 // HartsPerCore is fixed at 4 per the paper.
 const HartsPerCore = isa.HartsPerCore
+
+// MaxCores bounds the machine geometry every entry point accepts. The
+// simulator itself has no hard ceiling — the router hierarchy grows with
+// the core count — but 1024 cores (4096 harts) is the largest machine
+// the paper's scaling discussion reaches, and the serpentine backward
+// line makes runs far beyond it pathological rather than interesting.
+const MaxCores = 1024
+
+// ValidateGeometry rejects machine shapes no entry point should build:
+// a core count outside [1, MaxCores], or a router degree that is set
+// (non-zero) but below 2 and therefore cannot form a tree. It is called
+// by sim.New and by every CLI/serving front end so that a bad -cores or
+// job spec fails with a message instead of a normalized surprise.
+func ValidateGeometry(cores, routerDegree int) error {
+	if cores < 1 || cores > MaxCores {
+		return fmt.Errorf("lbp: cores must be in [1, %d], got %d", MaxCores, cores)
+	}
+	if routerDegree != 0 && routerDegree < 2 {
+		return fmt.Errorf("lbp: router degree must be at least 2 (or 0 for the default), got %d", routerDegree)
+	}
+	return nil
+}
 
 // StackBytes returns the stack region size of one hart.
 func (c *Config) StackBytes() uint32 {

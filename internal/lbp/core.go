@@ -310,7 +310,12 @@ func (c *core) execLoad(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "load from unmapped address %#x (pc %#x)", addr, u.pc)
 		return
 	}
-	c.effect(pendItem{kind: pendLoad, h: h, u: u,
+	// Arm the hart's reusable load client here in phase A: at most one
+	// load is in flight per hart (the 1-deep result buffer holds the
+	// previous one in the exec slot until delivery), so the slot is
+	// idle, and nothing reads it before phase B submits it.
+	h.ldc.u, h.ldc.v = u, 0
+	c.effect(pendItem{kind: pendLoad, h: h,
 		a: addr, w: mem.Width(d.MemW), signed: d.MemSigned()})
 }
 

@@ -61,6 +61,12 @@ type Machine struct {
 	simWorkers int
 	fastFwd    bool
 	pool       *stepPool
+
+	// lane is the coordinator's commit lane: the dirty cores of the
+	// cycle, collected during phase A (serial path, or the coordinator's
+	// own shard) and drained — followed by the pool's worker lanes — by
+	// applyLanes in ascending core order.
+	lane []*core
 }
 
 // emitFn receives one machine event. Keeping the disabled path behind a
@@ -360,24 +366,29 @@ func (m *Machine) Advance(n uint64) (*Result, error) {
 			// only read by them.
 			m.seqTrace = false
 			m.inlineFx = false
-			activity = m.pool.stepParallel(m.active, m.cycle)
+			activity = m.pool.stepParallel(m, m.cycle)
 		} else {
 			// Serial cycle: the cores step in exactly the order phase B
 			// would replay, so events fold into the recorder live and
 			// effects apply inline (core.effect) — the common case runs
-			// the whole cycle in one tight pass with an empty pending
-			// stream for applyPending to skip.
+			// the whole cycle in one tight pass with empty commit lanes
+			// for applyLanes to skip.
 			m.seqTrace = m.tracing
 			m.inlineFx = true
 			m.deferred = false
+			prog := false
 			for _, c := range m.active {
 				if c.stepCompute(m.cycle) {
 					activity = true
 				}
+				m.lane = laneScan(c, m.lane, &prog)
 			}
 			m.inlineFx = false
+			if prog {
+				m.progress = m.cycle
+			}
 		}
-		m.applyPending(m.cycle)
+		m.applyLanes(m.cycle)
 		m.tick(m.cycle)
 		if m.cycle-m.progress > m.cfg.LivelockWindow {
 			m.faultf(-1, -1, "no progress for %d cycles (deadlock?)%s",
@@ -504,6 +515,8 @@ func (m *Machine) Reset(p *asm.Program) error {
 		c.pend = c.pend[:0]
 		c.evbuf = c.evbuf[:0]
 	}
+	clear(m.lane)
+	m.lane = m.lane[:0]
 	m.cycle = 0
 	m.running = false
 	m.exited = false

@@ -46,10 +46,14 @@ const (
 )
 
 // pendItem is one deferred effect. The fields are a small union: a/b
-// carry (addr, value) or (pc, rb-slot), t the target hart or core, h/u
-// the issuing hart and instruction when the apply step must write back
-// into them. For pendForkNext, a holds 1 + the core's evbuf index of
-// the placeholder fork event (0 when tracing is off).
+// carry (addr, value), t the target core, h/u the issuing hart and
+// instruction when the apply step must write back into them. Control
+// messages (pendSwre/Start/Signal/Join) arrive pre-materialized: dc is
+// the delivery client, built in phase A — where construction can run
+// on a worker — so the serial phase-B merge only performs the
+// link-slot allocation that must stay ordered. For pendForkNext, a
+// holds 1 + the core's evbuf index of the placeholder fork event (0
+// when tracing is off).
 type pendItem struct {
 	kind   pendKind
 	w      mem.Width
@@ -58,6 +62,7 @@ type pendItem struct {
 	t      uint32
 	h      *hart
 	u      *uop
+	dc     mem.DoneClient
 	msg    string
 }
 
@@ -125,34 +130,71 @@ func (c *core) deferHalt(msg string) {
 	c.effect(pendItem{kind: pendHalt, msg: msg})
 }
 
-// applyPending is phase B: it replays every active core's pending
-// stream in core-index order. It must run on the coordinating
-// goroutine, after the phase-A barrier. (The per-core statistic
-// counters are cumulative and folded into the totals once, by
-// Machine.result — a per-cycle merge over 64 cores is measurable.)
-func (m *Machine) applyPending(now uint64) {
-	for _, c := range m.active {
-		if c.committed {
-			c.committed = false
-			m.progress = now
-		}
-		if len(c.pend) > 0 {
-			for i := range c.pend {
-				m.applyItem(c, &c.pend[i], now)
+// applyLanes is phase B: it replays the pending streams of the cycle's
+// dirty cores — collected into per-shard commit lanes during phase A —
+// in core-index order. It must run on the coordinating goroutine,
+// after the phase-A barrier. The lanes exist so phase B is O(dirty
+// cores), not O(active cores): on a 1024-core machine most cycles
+// leave the vast majority of cores with empty streams, and walking
+// them all serially per cycle dominates the host profile. The
+// coordinator's lane holds the lowest core shard and the worker lanes
+// follow in shard order, with each lane filled in iteration order over
+// a contiguous ascending shard — so the concatenation is exactly
+// ascending core order, and the merge is bit-identical to the full
+// walk. (The per-core statistic counters are cumulative and folded
+// into the totals once, by Machine.result — a per-cycle merge over 64
+// cores is measurable.)
+func (m *Machine) applyLanes(now uint64) {
+	for _, c := range m.lane {
+		m.applyCore(c, now)
+	}
+	m.lane = m.lane[:0]
+	if p := m.pool; p != nil {
+		for i := 0; i < p.n; i++ {
+			for _, c := range p.lanes[i] {
+				m.applyCore(c, now)
 			}
-			// Release pointers so pooled uops and harts are not pinned,
-			// then reuse the backing array next cycle.
-			clear(c.pend)
-			c.pend = c.pend[:0]
-		}
-		// Events drain after the actions so pendForkNext has patched its
-		// placeholder; see the ordering argument on emit. evbuf is only
-		// filled when tracing, which implies a recorder.
-		if len(c.evbuf) > 0 {
-			m.rec.AddBatch(c.evbuf)
-			c.evbuf = c.evbuf[:0]
+			p.lanes[i] = p.lanes[i][:0]
 		}
 	}
+}
+
+// applyCore drains one lane entry: the core's pending stream, then its
+// event buffer.
+func (m *Machine) applyCore(c *core, now uint64) {
+	if len(c.pend) > 0 {
+		for i := range c.pend {
+			m.applyItem(c, &c.pend[i], now)
+		}
+		// Release pointers so pooled uops and harts are not pinned,
+		// then reuse the backing array next cycle.
+		clear(c.pend)
+		c.pend = c.pend[:0]
+	}
+	// Events drain after the actions so pendForkNext has patched its
+	// placeholder; see the ordering argument on emit. evbuf is only
+	// filled when tracing, which implies a recorder.
+	if len(c.evbuf) > 0 {
+		m.rec.AddBatch(c.evbuf)
+		c.evbuf = c.evbuf[:0]
+	}
+}
+
+// laneScan is the phase-A postlude for one core, shared by the serial
+// path, the coordinator shard and the workers: fold the
+// did-any-hart-commit flag into the caller's progress accumulator and
+// enroll the core in a commit lane when it produced effects or events.
+// It runs on the goroutine that stepped the core, so the committed
+// reset stays data-race-free.
+func laneScan(c *core, lane []*core, prog *bool) []*core {
+	if c.committed {
+		c.committed = false
+		*prog = true
+	}
+	if len(c.pend) > 0 || len(c.evbuf) > 0 {
+		lane = append(lane, c)
+	}
+	return lane
 }
 
 // applyItem performs one deferred effect. The mutations here are the
@@ -161,38 +203,32 @@ func (m *Machine) applyPending(now uint64) {
 func (m *Machine) applyItem(c *core, it *pendItem, now uint64) {
 	switch it.kind {
 	case pendLoad:
-		// Re-arm the hart's reusable load client: the 1-deep result
-		// buffer guarantees at most one load in flight per hart.
-		lc := &it.h.ldc
-		lc.u, lc.v = it.u, 0
-		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed, lc)
+		// The hart's reusable load client was armed in phase A (execLoad):
+		// the 1-deep result buffer guarantees at most one load in flight
+		// per hart, so the slot was necessarily idle there.
+		m.Mem.SubmitLoad(now, c.idx, it.a, it.w, it.signed, &it.h.ldc)
 	case pendStore:
 		m.Mem.SubmitStore(now, c.idx, it.a, it.b, it.w, &it.h.stc)
 	case pendCV:
 		m.Mem.SubmitCVWrite(now, c.idx, int(it.t), it.a, it.b, &it.h.stc)
+	// The four control-message kinds carry their delivery client
+	// pre-materialized from phase A; here only the ordered link-slot
+	// allocation runs. The direction checks are mem-level invariants —
+	// the issue sites already validated the targets in phase A.
 	case pendSwre:
-		th := m.harts[it.t]
-		msg := &swreMsg{m: m, fromCore: c.idx, fromHart: it.h.idx,
-			tgt: it.t, idx: it.b, val: it.a, pc: it.u.pc}
-		if err := m.Mem.SendBackward(now, c.idx, th.core.idx, msg); err != nil {
+		if err := m.Mem.SendBackward(now, c.idx, int(it.t), it.dc); err != nil {
 			m.faultf(c.idx, it.h.idx, "p_swre: %v", err)
 		}
 	case pendStart:
-		th := m.harts[it.t]
-		msg := &startMsg{m: m, fromCore: c.idx, fromHart: it.h.idx, tgt: it.t, pc: it.a}
-		if err := m.Mem.SendForward(now, c.idx, th.core.idx, msg); err != nil {
+		if err := m.Mem.SendForward(now, c.idx, int(it.t), it.dc); err != nil {
 			m.faultf(c.idx, it.h.idx, "start: %v", err)
 		}
 	case pendSignal:
-		th := m.harts[it.t]
-		msg := &signalMsg{m: m, tgt: it.t}
-		if err := m.Mem.SendForward(now, c.idx, th.core.idx, msg); err != nil {
+		if err := m.Mem.SendForward(now, c.idx, int(it.t), it.dc); err != nil {
 			m.faultf(c.idx, it.h.idx, "ending signal: %v", err)
 		}
 	case pendJoin:
-		th := m.harts[it.t]
-		msg := &joinMsg{m: m, fromCore: c.idx, fromHart: it.h.idx, tgt: it.t, addr: it.a}
-		if err := m.Mem.SendBackward(now, c.idx, th.core.idx, msg); err != nil {
+		if err := m.Mem.SendBackward(now, c.idx, int(it.t), it.dc); err != nil {
 			m.faultf(c.idx, it.h.idx, "join: %v", err)
 		}
 	case pendForkNext:
@@ -236,12 +272,16 @@ func (m *Machine) applyItem(c *core, it *pendItem, now uint64) {
 const minShardCores = 8
 
 // stepPool runs phase A across persistent worker goroutines with a
-// per-cycle start/finish barrier.
+// per-cycle start/finish barrier. Each worker owns a commit lane: the
+// dirty cores of its shard, in shard (= ascending core) order, handed
+// to the coordinator's phase-B merge at the barrier.
 type stepPool struct {
 	n     int            // worker goroutine count (excluding coordinator)
 	start []chan uint64  // per-worker cycle kick
 	act   []bool         // per-worker activity result
+	prog  []bool         // per-worker did-any-hart-commit result
 	shard [][]*core      // per-worker core slice, rebuilt with the active list
+	lanes [][]*core      // per-worker commit lane, drained by applyLanes
 	wg    sync.WaitGroup // per-cycle completion
 	quit  chan struct{}
 }
@@ -253,7 +293,9 @@ func newStepPool(workers int) *stepPool {
 		n:     workers - 1,
 		start: make([]chan uint64, workers-1),
 		act:   make([]bool, workers-1),
+		prog:  make([]bool, workers-1),
 		shard: make([][]*core, workers-1),
+		lanes: make([][]*core, workers-1),
 		quit:  make(chan struct{}),
 	}
 	for i := 0; i < p.n; i++ {
@@ -267,13 +309,17 @@ func (p *stepPool) worker(i int) {
 	for {
 		select {
 		case now := <-p.start[i]:
-			act := false
+			act, prog := false, false
+			lane := p.lanes[i][:0]
 			for _, c := range p.shard[i] {
 				if c.stepCompute(now) {
 					act = true
 				}
+				lane = laneScan(c, lane, &prog)
 			}
+			p.lanes[i] = lane
 			p.act[i] = act
+			p.prog[i] = prog
 			p.wg.Done()
 		case <-p.quit:
 			return
@@ -303,24 +349,33 @@ func (p *stepPool) partition(active []*core) []*core {
 }
 
 // stepParallel runs phase A for one cycle across the pool and reports
-// whether any stage on any core did work.
-func (p *stepPool) stepParallel(active []*core, now uint64) bool {
-	own := p.partition(active)
+// whether any stage on any core did work. The coordinator steps the
+// lowest shard into m.lane; worker lanes follow it in applyLanes, so
+// the merged order is ascending core index.
+func (p *stepPool) stepParallel(m *Machine, now uint64) bool {
+	own := p.partition(m.active)
 	p.wg.Add(p.n)
 	for i := 0; i < p.n; i++ {
 		p.start[i] <- now
 	}
-	activity := false
+	activity, prog := false, false
 	for _, c := range own {
 		if c.stepCompute(now) {
 			activity = true
 		}
+		m.lane = laneScan(c, m.lane, &prog)
 	}
 	p.wg.Wait()
 	for i := 0; i < p.n; i++ {
 		if p.act[i] {
 			activity = true
 		}
+		if p.prog[i] {
+			prog = true
+		}
+	}
+	if prog {
+		m.progress = now
 	}
 	return activity
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -23,12 +24,29 @@ import (
 //
 // Versioning rules (DESIGN.md §"Serializable machine state"): any change
 // to the meaning, order or encoding of a saved field bumps
-// checkpointVersion, and Restore refuses other versions outright —
-// checkpoints are short-lived run-splitting artifacts, not an archival
-// format, so there are no cross-version migrations.
+// checkpointVersion, and Restore refuses unknown versions outright.
+// Version 2 is the sharded streamed format below; the monolithic
+// version-1 images older builds wrote remain restorable (they are the
+// one cross-version path — the serve-side result cache holds them).
 
-// checkpointVersion is the format number embedded in every checkpoint.
-const checkpointVersion = 1
+// checkpointVersion is the format number embedded in every checkpoint
+// this build writes.
+const checkpointVersion = 2
+
+// checkpointMagic prefixes every version-2 checkpoint stream. A
+// version-1 image is a bare gob stream, which starts with a type
+// descriptor, never these eight bytes — so the prefix discriminates
+// the formats reliably.
+var checkpointMagic = [8]byte{'L', 'B', 'P', 'C', 'K', 'P', 'T', '2'}
+
+// checkpointShardCores is the core-group granularity of a version-2
+// checkpoint: each group's cores, harts, performance counters and
+// memory banks encode as one self-contained gob value on the shared
+// stream. The version-1 encoder materialized the whole machine as a
+// single struct — at 1024 cores that is thousands of hart images and
+// bank arrays held live at once — while the sharded writer only ever
+// holds one 64-core group between stream writes.
+const checkpointShardCores = 64
 
 // savedUop flattens a uop: the instruction rebuilds from its raw word,
 // the pipeline class from the opcode, and the dependence edges from ROB
@@ -118,8 +136,10 @@ type savedClient struct {
 	Idx      uint32
 }
 
-// checkpoint is the serialized machine image.
-type checkpoint struct {
+// checkpointV1 is the monolithic serialized machine image of format
+// version 1, kept for decoding old images only — this build never
+// writes it.
+type checkpointV1 struct {
 	Version    int
 	Cfg        Config
 	Cycle      uint64
@@ -142,24 +162,69 @@ type checkpoint struct {
 	Devices    [][]byte
 }
 
-// Checkpoint serializes the full architectural state of the machine:
-// hart registers, reorder buffers and rename maps, in-flight memory
-// events and link-allocator state, device state, cycle and performance
-// counters, and the trace-digest chain. Restoring the bytes with
-// Restore and advancing reproduces the uninterrupted run bit-exactly.
-// Host-side execution knobs (worker count, fast-forward) are not part
-// of the state — they never affect simulated results.
-func (m *Machine) Checkpoint() ([]byte, error) {
+// checkpointManifest heads a version-2 stream: everything global —
+// configuration, clock and counters, the memory system's link and
+// event state (banks travel in the shards), in-flight clients, the
+// trace chain, device state — plus the shard geometry the reader
+// validates the following shard values against.
+type checkpointManifest struct {
+	Version    int
+	Cfg        Config
+	Cycle      uint64
+	Running    bool
+	Exited     bool
+	HaltMsg    string
+	ErrMsg     string
+	Progress   uint64
+	Stats      Stats
+	Profiling  bool
+	DecodedLen uint32
+	Mem        mem.State // global state only: Local/Shared are nil
+	MemClients []savedClient
+	HasTrace   bool
+	Trace      trace.RecorderState
+	Devices    [][]byte
+	ShardCores int
+	NumShards  int
+}
+
+// checkpointShard carries one contiguous core group: its cores, harts,
+// performance counters and memory banks.
+type checkpointShard struct {
+	FirstCore int
+	Cores     []savedCore
+	Harts     []savedHart
+	HPerf     []perf.HartCounters
+	CPerf     []perf.CoreCounters
+	Local     [][]uint32
+	Shared    [][]uint32
+}
+
+// WriteCheckpoint streams the full architectural state of the machine
+// to w: hart registers, reorder buffers and rename maps, in-flight
+// memory events and link-allocator state, device state, cycle and
+// performance counters, and the trace-digest chain. Restoring the
+// stream with Restore (or ReadCheckpoint) and advancing reproduces the
+// uninterrupted run bit-exactly. Host-side execution knobs (worker
+// count, fast-forward) are not part of the state — they never affect
+// simulated results.
+//
+// The stream is the version-2 format: the magic tag, a gob-encoded
+// manifest, then one gob value per checkpointShardCores-core group on
+// the same encoder. Shards are captured one at a time, so peak host
+// memory is bounded by one group, not the machine size.
+func (m *Machine) WriteCheckpoint(w io.Writer) error {
 	for _, c := range m.cores {
 		if len(c.pend) > 0 || len(c.evbuf) > 0 {
-			return nil, fmt.Errorf("lbp: checkpoint mid-cycle: core %d has unapplied effects", c.idx)
+			return fmt.Errorf("lbp: checkpoint mid-cycle: core %d has unapplied effects", c.idx)
 		}
 	}
 	decodedLen := 0
 	if m.img != nil {
 		decodedLen = len(m.img.descs)
 	}
-	cp := checkpoint{
+	memState, clients := m.Mem.CaptureGlobalState()
+	man := checkpointManifest{
 		Version:    checkpointVersion,
 		Cfg:        m.cfg,
 		Cycle:      m.cycle,
@@ -170,71 +235,216 @@ func (m *Machine) Checkpoint() ([]byte, error) {
 		Stats:      m.stats,
 		Profiling:  m.profiling,
 		DecodedLen: uint32(decodedLen),
-		HPerf:      append([]perf.HartCounters(nil), m.hperf...),
-		CPerf:      append([]perf.CoreCounters(nil), m.cperf...),
+		Mem:        *memState,
+		ShardCores: checkpointShardCores,
+		NumShards:  (len(m.cores) + checkpointShardCores - 1) / checkpointShardCores,
 	}
 	if m.err != nil {
-		cp.ErrMsg = m.err.Error()
+		man.ErrMsg = m.err.Error()
 	}
-	cp.Cores = make([]savedCore, len(m.cores))
-	for i, c := range m.cores {
-		cp.Cores[i] = savedCore{
+	man.MemClients = make([]savedClient, len(clients))
+	for i, cl := range clients {
+		sc, err := saveClient(cl)
+		if err != nil {
+			return err
+		}
+		man.MemClients[i] = sc
+	}
+	if m.rec != nil {
+		man.HasTrace = true
+		man.Trace = m.rec.State()
+	}
+	man.Devices = make([][]byte, len(m.devices))
+	for i, d := range m.devices {
+		s, ok := d.(Stateful)
+		if !ok {
+			return fmt.Errorf("lbp: device %d (%T) does not support checkpointing", i, d)
+		}
+		b, err := s.DeviceState()
+		if err != nil {
+			return fmt.Errorf("lbp: device %d: %w", i, err)
+		}
+		man.Devices[i] = b
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("lbp: writing checkpoint: %w", err)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&man); err != nil {
+		return fmt.Errorf("lbp: encoding checkpoint manifest: %w", err)
+	}
+	for lo := 0; lo < len(m.cores); lo += checkpointShardCores {
+		hi := lo + checkpointShardCores
+		if hi > len(m.cores) {
+			hi = len(m.cores)
+		}
+		sh, err := m.captureShard(lo, hi)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(sh); err != nil {
+			return fmt.Errorf("lbp: encoding checkpoint shard at core %d: %w", lo, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint serializes the machine into a byte slice (WriteCheckpoint
+// into memory) — the convenience form the sim and serve layers store
+// and hash.
+func (m *Machine) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.WriteCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// captureShard flattens the core group [lo, hi).
+func (m *Machine) captureShard(lo, hi int) (*checkpointShard, error) {
+	sh := &checkpointShard{
+		FirstCore: lo,
+		Cores:     make([]savedCore, hi-lo),
+		Harts:     make([]savedHart, (hi-lo)*HartsPerCore),
+		HPerf:     append([]perf.HartCounters(nil), m.hperf[lo*HartsPerCore:hi*HartsPerCore]...),
+		CPerf:     append([]perf.CoreCounters(nil), m.cperf[lo:hi]...),
+	}
+	for i := lo; i < hi; i++ {
+		c := m.cores[i]
+		sh.Cores[i-lo] = savedCore{
 			FetchRR: int32(c.fetchRR), RenameRR: int32(c.renameRR),
 			IssueRR: int32(c.issueRR), WbRR: int32(c.wbRR), CommitRR: int32(c.commitRR),
 			Fetched: c.statFetched, Forks: c.statForks, Sends: c.statSends,
 		}
 	}
-	cp.Harts = make([]savedHart, len(m.harts))
-	for i, h := range m.harts {
-		sh, err := saveHart(h)
+	for i := lo * HartsPerCore; i < hi*HartsPerCore; i++ {
+		s, err := saveHart(m.harts[i])
 		if err != nil {
 			return nil, err
 		}
-		cp.Harts[i] = sh
+		sh.Harts[i-lo*HartsPerCore] = s
 	}
-	memState, clients := m.Mem.CaptureState()
-	cp.Mem = *memState
-	cp.MemClients = make([]savedClient, len(clients))
-	for i, cl := range clients {
-		sc, err := saveClient(cl)
-		if err != nil {
-			return nil, err
-		}
-		cp.MemClients[i] = sc
-	}
-	if m.rec != nil {
-		cp.HasTrace = true
-		cp.Trace = m.rec.State()
-	}
-	cp.Devices = make([][]byte, len(m.devices))
-	for i, d := range m.devices {
-		s, ok := d.(Stateful)
-		if !ok {
-			return nil, fmt.Errorf("lbp: device %d (%T) does not support checkpointing", i, d)
-		}
-		b, err := s.DeviceState()
-		if err != nil {
-			return nil, fmt.Errorf("lbp: device %d: %w", i, err)
-		}
-		cp.Devices[i] = b
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&cp); err != nil {
-		return nil, fmt.Errorf("lbp: encoding checkpoint: %w", err)
-	}
-	return buf.Bytes(), nil
+	sh.Local, sh.Shared = m.Mem.CaptureBankRange(lo, hi)
+	return sh, nil
 }
 
-// Restore rebuilds a machine from Checkpoint bytes. Devices are not
-// serializable as configuration, so the caller passes freshly built,
-// identically configured devices in the original AddDevice order; their
-// mutable state is restored from the checkpoint before attachment.
+// Restore rebuilds a machine from Checkpoint bytes, accepting both the
+// sharded version-2 stream this build writes and the monolithic
+// version-1 images of older builds. Devices are not serializable as
+// configuration, so the caller passes freshly built, identically
+// configured devices in the original AddDevice order; their mutable
+// state is restored from the checkpoint before attachment.
 func Restore(data []byte, devices ...Device) (*Machine, error) {
-	var cp checkpoint
+	if len(data) >= len(checkpointMagic) &&
+		bytes.Equal(data[:len(checkpointMagic)], checkpointMagic[:]) {
+		return ReadCheckpoint(bytes.NewReader(data), devices...)
+	}
+	return restoreV1(data, devices...)
+}
+
+// ReadCheckpoint rebuilds a machine from a version-2 checkpoint
+// stream, decoding one core-group shard at a time.
+func ReadCheckpoint(r io.Reader, devices ...Device) (*Machine, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("lbp: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("lbp: stream is not a version-%d checkpoint", checkpointVersion)
+	}
+	dec := gob.NewDecoder(r)
+	var man checkpointManifest
+	if err := dec.Decode(&man); err != nil {
+		return nil, fmt.Errorf("lbp: decoding checkpoint manifest: %w", err)
+	}
+	if man.Version != checkpointVersion {
+		return nil, fmt.Errorf("lbp: checkpoint version %d, this build supports %d",
+			man.Version, checkpointVersion)
+	}
+	if len(devices) != len(man.Devices) {
+		return nil, fmt.Errorf("lbp: checkpoint was taken with %d devices, restore got %d",
+			len(man.Devices), len(devices))
+	}
+	if man.Cfg.Cores <= 0 {
+		return nil, fmt.Errorf("lbp: checkpoint has a non-positive core count")
+	}
+	if man.ShardCores <= 0 ||
+		man.NumShards != (man.Cfg.Cores+man.ShardCores-1)/man.ShardCores {
+		return nil, fmt.Errorf("lbp: checkpoint shard geometry does not match its configuration")
+	}
+	m := New(man.Cfg)
+	m.cycle = man.Cycle
+	m.running = man.Running
+	m.exited = man.Exited
+	m.haltMsg = man.HaltMsg
+	if man.ErrMsg != "" {
+		m.err = faultError(man.ErrMsg)
+	}
+	m.progress = man.Progress
+	m.stats = man.Stats
+	if man.Profiling {
+		m.EnableProfiling()
+	}
+	for s := 0; s < man.NumShards; s++ {
+		lo := s * man.ShardCores
+		hi := lo + man.ShardCores
+		if hi > len(m.cores) {
+			hi = len(m.cores)
+		}
+		var sh checkpointShard
+		if err := dec.Decode(&sh); err != nil {
+			return nil, fmt.Errorf("lbp: decoding checkpoint shard %d: %w", s, err)
+		}
+		if err := m.restoreShard(&sh, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	clients := make([]any, len(man.MemClients))
+	for i := range man.MemClients {
+		cl, err := m.restoreClient(&man.MemClients[i])
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = cl
+	}
+	if err := m.Mem.RestoreGlobalState(&man.Mem, clients); err != nil {
+		return nil, err
+	}
+	return finishRestore(m, man.DecodedLen, man.HasTrace, man.Trace, man.Devices, devices)
+}
+
+// restoreShard rebuilds the core group the shard claims, after checking
+// it is exactly the [lo, hi) group the stream position calls for.
+func (m *Machine) restoreShard(sh *checkpointShard, lo, hi int) error {
+	if sh.FirstCore != lo || len(sh.Cores) != hi-lo ||
+		len(sh.Harts) != (hi-lo)*HartsPerCore ||
+		len(sh.HPerf) != len(sh.Harts) || len(sh.CPerf) != len(sh.Cores) {
+		return fmt.Errorf("lbp: checkpoint shard at core %d has mismatched geometry", sh.FirstCore)
+	}
+	for i, sc := range sh.Cores {
+		c := m.cores[lo+i]
+		c.fetchRR, c.renameRR = int(sc.FetchRR), int(sc.RenameRR)
+		c.issueRR, c.wbRR, c.commitRR = int(sc.IssueRR), int(sc.WbRR), int(sc.CommitRR)
+		c.statFetched, c.statForks, c.statSends = sc.Fetched, sc.Forks, sc.Sends
+	}
+	hlo := lo * HartsPerCore
+	for i := range sh.Harts {
+		if err := restoreHart(m.harts[hlo+i], &sh.Harts[i]); err != nil {
+			return err
+		}
+	}
+	copy(m.hperf[hlo:], sh.HPerf)
+	copy(m.cperf[lo:], sh.CPerf)
+	return m.Mem.RestoreBankRange(lo, sh.Local, sh.Shared)
+}
+
+// restoreV1 rebuilds a machine from a monolithic version-1 image.
+func restoreV1(data []byte, devices ...Device) (*Machine, error) {
+	var cp checkpointV1
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("lbp: decoding checkpoint: %w", err)
 	}
-	if cp.Version != checkpointVersion {
+	if cp.Version != 1 {
 		return nil, fmt.Errorf("lbp: checkpoint version %d, this build supports %d",
 			cp.Version, checkpointVersion)
 	}
@@ -286,8 +496,16 @@ func Restore(data []byte, devices ...Device) (*Machine, error) {
 	if err := m.Mem.RestoreState(&cp.Mem, clients); err != nil {
 		return nil, err
 	}
-	if cp.DecodedLen > 0 {
-		words := make([]uint32, cp.DecodedLen)
+	return finishRestore(m, cp.DecodedLen, cp.HasTrace, cp.Trace, cp.Devices, devices)
+}
+
+// finishRestore is the version-independent restore tail: rebuild the
+// shared decoded image from the restored code bank, refresh the active
+// list, reattach the trace recorder and the caller's devices.
+func finishRestore(m *Machine, decodedLen uint32, hasTrace bool,
+	ts trace.RecorderState, devState [][]byte, devices []Device) (*Machine, error) {
+	if decodedLen > 0 {
+		words := make([]uint32, decodedLen)
 		for i := range words {
 			w, ok := m.Mem.FetchWord(uint32(4 * i))
 			if !ok {
@@ -304,15 +522,15 @@ func Restore(data []byte, devices ...Device) (*Machine, error) {
 		c.activeEdge = false
 	}
 	m.rebuildActive()
-	if cp.HasTrace {
-		m.SetTrace(trace.NewFromState(cp.Trace))
+	if hasTrace {
+		m.SetTrace(trace.NewFromState(ts))
 	}
 	for i, d := range devices {
 		s, ok := d.(Stateful)
 		if !ok {
 			return nil, fmt.Errorf("lbp: restore device %d (%T) does not support checkpointing", i, d)
 		}
-		if err := s.RestoreDeviceState(cp.Devices[i]); err != nil {
+		if err := s.RestoreDeviceState(devState[i]); err != nil {
 			return nil, fmt.Errorf("lbp: restore device %d: %w", i, err)
 		}
 		m.AddDevice(d)

@@ -2,6 +2,7 @@ package lbp
 
 import (
 	"bytes"
+	"os"
 	"reflect"
 	"testing"
 
@@ -169,6 +170,74 @@ func TestReadSharedSliceBounds(t *testing.T) {
 	}
 	if v, ok := m.ReadSharedSlice(sharedBase, 0); !ok || len(v) != 0 {
 		t.Errorf("zero-length read = (%v, %v), want empty ok", v, ok)
+	}
+}
+
+// TestRestoreV1Checkpoint: checkpoints written before the sharded v2
+// format — a bare gob stream with no magic prefix — must keep restoring
+// bit-exactly. The fixture is an 8-core placed set/get run stopped at
+// cycle 4000 with a digest recorder attached; the expected constants
+// are the outcome of the original uninterrupted run.
+func TestRestoreV1Checkpoint(t *testing.T) {
+	cp, err := os.ReadFile("testdata/checkpoint_v1_8core.bin")
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	if bytes.HasPrefix(cp, checkpointMagic[:]) {
+		t.Fatal("fixture has the v2 magic; it no longer exercises the v1 path")
+	}
+	m, err := Restore(cp)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if m.Cycle() != 4000 {
+		t.Fatalf("restored cycle = %d, want 4000", m.Cycle())
+	}
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	const wantCycles, wantRetired = 8683, 33332
+	const wantDigest = uint64(0xb22e8eda05ed9d50)
+	if res.Stats.Cycles != wantCycles || res.Stats.Retired != wantRetired {
+		t.Errorf("resumed run: cycles=%d retired=%d, want %d/%d",
+			res.Stats.Cycles, res.Stats.Retired, wantCycles, wantRetired)
+	}
+	if d := m.Trace().Digest(); d != wantDigest {
+		t.Errorf("resumed digest = %#x, want %#x", d, wantDigest)
+	}
+}
+
+// TestCheckpointV2Format: new checkpoints lead with the v2 magic, and a
+// machine restored from the v1 fixture re-checkpoints in v2 form that
+// restores to the same outcome — the upgrade path is lossless.
+func TestCheckpointV2Format(t *testing.T) {
+	v1, err := os.ReadFile("testdata/checkpoint_v1_8core.bin")
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	m, err := Restore(v1)
+	if err != nil {
+		t.Fatalf("restore v1: %v", err)
+	}
+	v2, err := m.Checkpoint()
+	if err != nil {
+		t.Fatalf("re-checkpoint: %v", err)
+	}
+	if !bytes.HasPrefix(v2, checkpointMagic[:]) {
+		t.Fatal("re-checkpoint of a v1 machine must use the v2 format")
+	}
+	m2, err := Restore(v2)
+	if err != nil {
+		t.Fatalf("restore v2: %v", err)
+	}
+	res, err := m2.Run(50_000_000)
+	if err != nil {
+		t.Fatalf("run after upgrade: %v", err)
+	}
+	if res.Stats.Cycles != 8683 || m2.Trace().Digest() != 0xb22e8eda05ed9d50 {
+		t.Errorf("upgraded checkpoint diverged: cycles=%d digest=%#x",
+			res.Stats.Cycles, m2.Trace().Digest())
 	}
 }
 

@@ -157,8 +157,11 @@ func (c *core) execSwre(h *hart, u *uop, now uint64) {
 		c.faultf(h.idx, "p_swre target hart %d is on a later core (pc %#x)", tgt, u.pc)
 		return
 	}
-	c.effect(pendItem{kind: pendSwre, h: h, u: u,
-		t: tgt, a: u.src2, b: uint32(u.d.Inst.Imm)})
+	// The delivery client materializes here, in phase A, so the serial
+	// phase-B merge only allocates the backward-line slots.
+	c.effect(pendItem{kind: pendSwre, h: h, t: uint32(th.core.idx),
+		dc: &swreMsg{m: c.m, fromCore: c.idx, fromHart: h.idx,
+			tgt: tgt, idx: uint32(u.d.Inst.Imm), val: u.src2, pc: u.pc}})
 	c.statSends++
 	c.emit(trace.KindSend, h.idx, uint64(u.src2))
 	u.done = true
@@ -177,7 +180,8 @@ func (c *core) sendStart(h *hart, tgt uint32, pc uint32) {
 		c.faultf(h.idx, "start target hart %d is not on the same or next core", tgt)
 		return
 	}
-	c.effect(pendItem{kind: pendStart, h: h, t: tgt, a: pc})
+	c.effect(pendItem{kind: pendStart, h: h, t: uint32(tc),
+		dc: &startMsg{m: c.m, fromCore: c.idx, fromHart: h.idx, tgt: tgt, pc: pc}})
 }
 
 // doRet performs the four ending types of a committed p_ret (Figure 6):
@@ -242,7 +246,8 @@ func (c *core) sendSignal(h *hart, link uint32) {
 		c.faultf(h.idx, "ending signal target hart %d is not on the same or next core", link)
 		return
 	}
-	c.effect(pendItem{kind: pendSignal, h: h, t: link})
+	c.effect(pendItem{kind: pendSignal, h: h, t: uint32(tc),
+		dc: &signalMsg{m: c.m, tgt: link}})
 }
 
 // sendJoin delivers a join address backward to the home hart.
@@ -256,5 +261,6 @@ func (c *core) sendJoin(h *hart, home uint32, addr uint32) {
 		c.faultf(h.idx, "join target hart %d is on a later core (a data cannot go back in time)", home)
 		return
 	}
-	c.effect(pendItem{kind: pendJoin, h: h, t: home, a: addr})
+	c.effect(pendItem{kind: pendJoin, h: h, t: uint32(th.core.idx),
+		dc: &joinMsg{m: c.m, fromCore: c.idx, fromHart: h.idx, tgt: home, addr: addr}})
 }

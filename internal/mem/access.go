@@ -226,9 +226,36 @@ func (s *System) LocalMapped(addr uint32) bool {
 	return ok
 }
 
+// reqClass attributes a request-link wait at tree level index k (0 =
+// the paper's r1 links). Levels beyond r2 exist only on machines above
+// 64 cores and share the r2 bucket (see the note in internal/perf on
+// why the LinkClass enum cannot grow).
+func reqClass(k int) perf.LinkClass {
+	if k == 0 {
+		return perf.LinkR1Req
+	}
+	return perf.LinkR2Req
+}
+
+// respClass is reqClass for the result-link families.
+func respClass(k int) perf.LinkClass {
+	if k == 0 {
+		return perf.LinkR1Resp
+	}
+	return perf.LinkR2Resp
+}
+
 // routeShared reserves the link slots of a shared access from core c to
 // bank o and returns (serviceStart, responseDone). hops counts link
 // traversals for the statistics.
+//
+// The request ascends the router hierarchy from c to the lowest common
+// ancestor and descends to o — one up link per level with a differing
+// group index, then the matching down links in reverse — and the
+// response retraces the path on the result-link families. For the
+// paper's 64-core degree-4 machine this is link-for-link the fixed
+// r1/r2 switch the model used to hard-code (converging at r1: no tree
+// links; at r2: r1 up + r1 down; at the root: r1+r2 up, r2+r1 down).
 func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
 	hop := uint64(s.cfg.HopLat)
 	lat := uint64(s.cfg.SharedLat)
@@ -240,35 +267,31 @@ func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
 	}
 	s.Stats.SharedRemote++
 	d := s.cfg.RouterDegree
-	g1c, g1o := c/d, o/d // r1 groups
-	g2c, g2o := g1c/d, g1o/d
 	chc, cho := s.cfg.ChipOf(c), s.cfg.ChipOf(o)
 	chipHop := uint64(s.cfg.ChipHopLat)
-	hops := uint64(0)
+	// Group indices of c and o at every level below the convergence
+	// point; cg[k]/og[k] index the level-(k+1) link arrays.
+	var cg, og [maxTreeDepth]int32
+	up := 0
+	for gc, gr := c/d, o/d; gc != gr; gc, gr = gc/d, gr/d {
+		cg[up], og[up] = int32(gc), int32(gr)
+		up++
+	}
+	hops := uint64(3) + 4*uint64(up) // core links, bank port, both tree traversals
 	t := s.alloc(&s.coreUp[c], now+hop, perf.LinkCoreUp)
-	hops++
 	if chc != cho {
 		// leave the source chip and enter the destination chip
 		t = s.alloc(&s.chipUpReq[chc], t+chipHop, perf.LinkChipReq)
 		t = s.alloc(&s.chipDownReq[cho], t+chipHop, perf.LinkChipReq)
 		hops += 2
 	}
-	switch {
-	case g1c == g1o:
-		// stays inside one r1
-	case g2c == g2o:
-		t = s.alloc(&s.r1UpReq[g1c], t+hop, perf.LinkR1Req)
-		t = s.alloc(&s.r1DownReq[g1o], t+hop, perf.LinkR1Req)
-		hops += 2
-	default:
-		t = s.alloc(&s.r1UpReq[g1c], t+hop, perf.LinkR1Req)
-		t = s.alloc(&s.r2UpReq[g2c], t+hop, perf.LinkR2Req)
-		t = s.alloc(&s.r2DownReq[g2o], t+hop, perf.LinkR2Req)
-		t = s.alloc(&s.r1DownReq[g1o], t+hop, perf.LinkR1Req)
-		hops += 4
+	for k := 0; k < up; k++ {
+		t = s.alloc(&s.upReq[k][cg[k]], t+hop, reqClass(k))
+	}
+	for k := up - 1; k >= 0; k-- {
+		t = s.alloc(&s.downReq[k][og[k]], t+hop, reqClass(k))
 	}
 	t = s.alloc(&s.bankPort[o], t+hop, perf.LinkBankPort)
-	hops++
 	serviceT = t
 	// response path (reverse), on the result links
 	t += lat
@@ -277,21 +300,13 @@ func (s *System) routeShared(now uint64, c, o int) (serviceT, doneT uint64) {
 		t = s.alloc(&s.chipDownResp[chc], t+chipHop, perf.LinkChipResp)
 		hops += 2
 	}
-	switch {
-	case g1c == g1o:
-	case g2c == g2o:
-		t = s.alloc(&s.r1UpResp[g1o], t+hop, perf.LinkR1Resp)
-		t = s.alloc(&s.r1DownResp[g1c], t+hop, perf.LinkR1Resp)
-		hops += 2
-	default:
-		t = s.alloc(&s.r1UpResp[g1o], t+hop, perf.LinkR1Resp)
-		t = s.alloc(&s.r2UpResp[g2o], t+hop, perf.LinkR2Resp)
-		t = s.alloc(&s.r2DownResp[g2c], t+hop, perf.LinkR2Resp)
-		t = s.alloc(&s.r1DownResp[g1c], t+hop, perf.LinkR1Resp)
-		hops += 4
+	for k := 0; k < up; k++ {
+		t = s.alloc(&s.upResp[k][og[k]], t+hop, respClass(k))
+	}
+	for k := up - 1; k >= 0; k-- {
+		t = s.alloc(&s.downResp[k][cg[k]], t+hop, respClass(k))
 	}
 	t = s.alloc(&s.coreDown[c], t+hop, perf.LinkCoreDown)
-	hops++
 	s.Stats.RemoteHops += hops
 	return serviceT, t
 }

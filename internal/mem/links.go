@@ -40,24 +40,79 @@ func (s *System) SendForward(now uint64, from, to int, dc DoneClient) error {
 	return nil
 }
 
+// backSerpentineMax is the largest machine whose backward line is the
+// paper's flat serpentine walk, one link per intermediate core. The
+// paper validates that line at its 64-core machine; the scaled design
+// points beyond it segment the line per bottom-level router group and
+// join the segments through per-level express links on the router
+// hierarchy, so a machine-spanning join pays O(levels) hops instead of
+// O(cores). Keeping the flat walk up to 64 cores preserves the paper
+// configurations' timing bit-for-bit.
+const backSerpentineMax = 64
+
 // SendBackward delivers a message from core `from` to a prior core `to`
-// (to <= from) over the backward line, one link per intermediate core.
+// (to <= from) over the backward line: the serpentine walk on machines
+// up to backSerpentineMax cores or within one bottom-level group, the
+// hierarchical express path otherwise.
 func (s *System) SendBackward(now uint64, from, to int, dc DoneClient) error {
 	if to > from {
 		return fmt.Errorf("mem: backward message %d->%d goes forward in core order", from, to)
 	}
 	s.ensureBackward()
-	t := now
-	if to == from {
+	var t uint64
+	switch {
+	case to == from:
 		t = now + 1
-	} else {
+	case s.cfg.Cores <= backSerpentineMax || from/s.cfg.RouterDegree == to/s.cfg.RouterDegree:
+		t = now
 		for c := from; c > to; c-- {
 			t = s.alloc(&s.backward[c], t+uint64(s.cfg.HopLat), perf.LinkBackward)
 			if s.cfg.ChipOf(c) != s.cfg.ChipOf(c-1) {
 				t += uint64(s.cfg.ChipHopLat)
 			}
 		}
+	default:
+		t = s.backExpress(now, from, to)
 	}
 	s.schedule(t, event{kind: evMessage, dc: dc})
 	return nil
+}
+
+// backExpress routes a backward message hierarchically: serpentine hops
+// to the low edge of the source's bottom-level group, express links up
+// to the lowest common ancestor and down to the target's group (one
+// per level, modeled like the request tree: HopLat plus contention on
+// a one-slot-per-cycle link), then serpentine hops from the group's
+// high edge down to the target. Chip-boundary crossings pay ChipHopLat
+// once per boundary between the endpoints, as the flat walk did.
+func (s *System) backExpress(now uint64, from, to int) uint64 {
+	d := s.cfg.RouterDegree
+	hop := uint64(s.cfg.HopLat)
+	t := now
+	for c := from; c > (from/d)*d; c-- {
+		t = s.alloc(&s.backward[c], t+hop, perf.LinkBackward)
+	}
+	var fg, tg [maxTreeDepth]int32
+	up := 0
+	for gf, gt := from/d, to/d; gf != gt; gf, gt = gf/d, gt/d {
+		fg[up], tg[up] = int32(gf), int32(gt)
+		up++
+	}
+	for k := 0; k < up; k++ {
+		t = s.alloc(&s.backUp[k][fg[k]], t+hop, perf.LinkBackward)
+	}
+	for k := up - 1; k >= 0; k-- {
+		t = s.alloc(&s.backDown[k][tg[k]], t+hop, perf.LinkBackward)
+	}
+	top := (to/d)*d + d - 1
+	if top > s.cfg.Cores-1 {
+		top = s.cfg.Cores - 1
+	}
+	for c := top; c > to; c-- {
+		t = s.alloc(&s.backward[c], t+hop, perf.LinkBackward)
+	}
+	if s.cfg.CoresPerChip > 0 {
+		t += uint64(s.cfg.ChipHopLat) * uint64(s.cfg.ChipOf(from)-s.cfg.ChipOf(to))
+	}
+	return t
 }

@@ -1,7 +1,13 @@
 // Package mem models the LBP memory organization (Figure 13 of the paper):
 // per core a code bank, a local bank (hart stacks) and one bank of the
-// shared global memory, plus the hierarchical r1/r2/r3 router tree that
-// serves remote shared accesses.
+// shared global memory, plus the hierarchical router tree that serves
+// remote shared accesses. The paper's fixed r1/r2/r3 tree is the
+// 64-core instance of a general degree-d hierarchy: level-k routers
+// group d level-(k-1) routers (cores at level 0), so a machine of n
+// cores has ceil(log_d(n)) router levels and remote traffic pays one
+// hop per level ascended to the lowest common ancestor and one per
+// level descended. For n <= 64 at the paper's degree 4 this reproduces
+// the fixed tree link-for-link.
 //
 // Timing model. Every unidirectional link (core->r1, r1->core, r1<->r2,
 // r2<->r3, bank ports) carries one transaction per cycle. A transaction
@@ -122,16 +128,22 @@ type System struct {
 	coreUp, coreDown    []uint64 // core <-> r1
 	bankPort, bankLocal []uint64 // shared bank ports (router side, local side)
 	localPort           []uint64 // local bank port
-	// Router-tree links, one slot per cycle each. Requests and results
+	// Router-tree links, one slot per cycle each, level-indexed: entry k
+	// holds the links between the level-(k+1) routers and their parents,
+	// one per level-(k+1) router (so upReq[0] is the paper's r1->r2
+	// request link array, upReq[1] the r2->r3 one, and deeper levels
+	// exist only on machines above 64 cores). Requests and results
 	// travel on distinct links in each direction (Section 5.3: an r2
 	// receives 4 requests from its r1s AND sends 4 results back each
 	// cycle), so the four families are independent.
-	r1UpReq, r1UpResp     []uint64 // r1 -> r2
-	r1DownReq, r1DownResp []uint64 // r2 -> r1
-	r2UpReq, r2UpResp     []uint64 // r2 -> r3
-	r2DownReq, r2DownResp []uint64 // r3 -> r2
-	forward               []uint64 // core c -> core c+1 forward link
-	backward              []uint64 // core c -> core c-1 backward line
+	upReq, upResp     [][]uint64 // router level k+1 -> level k+2
+	downReq, downResp [][]uint64 // router level k+2 -> level k+1
+	// Express backward links for machines beyond the paper's 64 cores:
+	// long join/result messages climb the same router hierarchy instead
+	// of walking the serpentine line core by core (see SendBackward).
+	backUp, backDown [][]uint64
+	forward          []uint64 // core c -> core c+1 forward link
+	backward         []uint64 // core c -> core c-1 backward line
 
 	// per-chip external links (multi-chip extension)
 	chipUpReq, chipUpResp     []uint64
@@ -143,34 +155,58 @@ type System struct {
 	Perf   perf.MemCounters
 }
 
+// maxTreeDepth bounds the router-tree depth: degree >= 2 and a 32-bit
+// core index converge within 32 levels, so routing can use fixed stack
+// buffers for the per-level group indices.
+const maxTreeDepth = 32
+
+// routerCounts returns the router count of each link level: entry k is
+// the number of level-(k+1) routers, and levels stop once a single
+// router covers the whole machine (that root has no parent link).
+func routerCounts(n, d int) []int {
+	var counts []int
+	for c := (n + d - 1) / d; c > 1; c = (c + d - 1) / d {
+		counts = append(counts, c)
+	}
+	return counts
+}
+
+// makeLevels allocates one link array per tree level.
+func makeLevels(counts []int) [][]uint64 {
+	lv := make([][]uint64, len(counts))
+	for k, n := range counts {
+		lv[k] = make([]uint64, n)
+	}
+	return lv
+}
+
 // New creates a memory system.
 func New(cfg Config) *System {
-	if cfg.RouterDegree == 0 {
+	if cfg.RouterDegree < 2 {
+		// 0 means unset; degrees below 2 cannot form a tree. Entry-point
+		// validation rejects them, so normalize to the paper's 4 here.
 		cfg.RouterDegree = 4
 	}
 	n := cfg.Cores
 	d := cfg.RouterDegree
-	nr1 := (n + d - 1) / d
-	nr2 := (nr1 + d - 1) / d
+	counts := routerCounts(n, d)
 	s := &System{
-		cfg:        cfg,
-		code:       make([]uint32, cfg.CodeBytes/4),
-		local:      make([][]uint32, n),
-		shared:     make([][]uint32, n),
-		coreUp:     make([]uint64, n),
-		coreDown:   make([]uint64, n),
-		bankPort:   make([]uint64, n),
-		bankLocal:  make([]uint64, n),
-		localPort:  make([]uint64, n),
-		r1UpReq:    make([]uint64, nr1),
-		r1UpResp:   make([]uint64, nr1),
-		r1DownReq:  make([]uint64, nr1),
-		r1DownResp: make([]uint64, nr1),
-		r2UpReq:    make([]uint64, nr2),
-		r2UpResp:   make([]uint64, nr2),
-		r2DownReq:  make([]uint64, nr2),
-		r2DownResp: make([]uint64, nr2),
-		forward:    make([]uint64, n),
+		cfg:       cfg,
+		code:      make([]uint32, cfg.CodeBytes/4),
+		local:     make([][]uint32, n),
+		shared:    make([][]uint32, n),
+		coreUp:    make([]uint64, n),
+		coreDown:  make([]uint64, n),
+		bankPort:  make([]uint64, n),
+		bankLocal: make([]uint64, n),
+		localPort: make([]uint64, n),
+		upReq:     makeLevels(counts),
+		upResp:    makeLevels(counts),
+		downReq:   makeLevels(counts),
+		downResp:  makeLevels(counts),
+		backUp:    makeLevels(counts),
+		backDown:  makeLevels(counts),
+		forward:   make([]uint64, n),
 	}
 	if cfg.CoresPerChip > 0 {
 		nchips := (n + cfg.CoresPerChip - 1) / cfg.CoresPerChip

@@ -9,15 +9,21 @@ import (
 // Serializable memory-system state.
 //
 // A System is plain data except for the clients attached to in-flight
-// events, which point back into the machine. CaptureState therefore
-// splits a snapshot in two: a State struct of pure values, and a flat
-// client table the caller (internal/lbp) serializes with its own
+// events, which point back into the machine. CaptureGlobalState
+// therefore splits a snapshot in two: a State struct of pure values, and
+// a flat client table the caller (internal/lbp) serializes with its own
 // knowledge of the client types. Event records reference clients by
 // table index; a LoadClient shared by a service/delivery event pair is
 // deduplicated by pointer identity so restore re-attaches one client to
 // both events.
+//
+// The bank images — the bulk of the bytes on large machines — are
+// captured separately per core range (CaptureBankRange), so the sharded
+// checkpoint format streams them in per-core-group shards instead of
+// materializing one contiguous snapshot of every bank.
 
-// State is the serializable state of a System at a cycle boundary.
+// State is the serializable state of a System at a cycle boundary,
+// minus the per-core bank images when produced by CaptureGlobalState.
 // Bank images are trimmed of trailing zero words; the events slice is
 // the heap's backing array verbatim (a heap restored in array order is
 // the same heap, so pop order is preserved bit-exactly).
@@ -27,12 +33,24 @@ type State struct {
 	Perf  perf.MemCounters
 
 	Code   []uint32
-	Local  [][]uint32 // per core
-	Shared [][]uint32 // per core
+	Local  [][]uint32 // per core; nil in a global-only snapshot
+	Shared [][]uint32 // per core; nil in a global-only snapshot
 
 	CoreUp, CoreDown, BankPort, BankLocal, LocalPort []uint64
-	R1UpReq, R1UpResp, R1DownReq, R1DownResp         []uint64
-	R2UpReq, R2UpResp, R2DownReq, R2DownResp         []uint64
+
+	// Router-tree links, level-indexed (entry k = level k+1); see
+	// System. BackUp/BackDown are the express backward links of
+	// machines above 64 cores.
+	UpReq, UpResp, DownReq, DownResp [][]uint64
+	BackUp, BackDown                 [][]uint64
+
+	// Legacy fixed-tree link arrays. Version-1 checkpoints carry the
+	// two levels in these named fields; they are never written by the
+	// current capture paths but must stay declared so gob decodes old
+	// streams into them for RestoreState's legacy mapping.
+	R1UpReq, R1UpResp, R1DownReq, R1DownResp []uint64
+	R2UpReq, R2UpResp, R2DownReq, R2DownResp []uint64
+
 	Forward, Backward                                []uint64
 	ChipUpReq, ChipUpResp, ChipDownReq, ChipDownResp []uint64
 
@@ -64,10 +82,23 @@ func trimZeros(words []uint32) []uint32 {
 
 func copyU64(v []uint64) []uint64 { return append([]uint64(nil), v...) }
 
-// CaptureState snapshots the system. The returned client table holds
-// every distinct event client in first-reference order; the caller owns
-// serializing and rebuilding them (RestoreState re-attaches by index).
-func (s *System) CaptureState() (*State, []any) {
+func copyLevels(lv [][]uint64) [][]uint64 {
+	if len(lv) == 0 {
+		return nil
+	}
+	out := make([][]uint64, len(lv))
+	for k := range lv {
+		out[k] = copyU64(lv[k])
+	}
+	return out
+}
+
+// CaptureGlobalState snapshots everything but the per-core bank images:
+// link-allocator state, counters, the code bank and the in-flight event
+// queue. The returned client table holds every distinct event client in
+// first-reference order; the caller owns serializing and rebuilding them
+// (RestoreGlobalState re-attaches by index).
+func (s *System) CaptureGlobalState() (*State, []any) {
 	st := &State{
 		Seq:   s.seq,
 		Stats: s.Stats,
@@ -77,21 +108,12 @@ func (s *System) CaptureState() (*State, []any) {
 		CoreUp: copyU64(s.coreUp), CoreDown: copyU64(s.coreDown),
 		BankPort: copyU64(s.bankPort), BankLocal: copyU64(s.bankLocal),
 		LocalPort: copyU64(s.localPort),
-		R1UpReq:   copyU64(s.r1UpReq), R1UpResp: copyU64(s.r1UpResp),
-		R1DownReq: copyU64(s.r1DownReq), R1DownResp: copyU64(s.r1DownResp),
-		R2UpReq: copyU64(s.r2UpReq), R2UpResp: copyU64(s.r2UpResp),
-		R2DownReq: copyU64(s.r2DownReq), R2DownResp: copyU64(s.r2DownResp),
+		UpReq:     copyLevels(s.upReq), UpResp: copyLevels(s.upResp),
+		DownReq: copyLevels(s.downReq), DownResp: copyLevels(s.downResp),
+		BackUp: copyLevels(s.backUp), BackDown: copyLevels(s.backDown),
 		Forward: copyU64(s.forward), Backward: copyU64(s.backward),
 		ChipUpReq: copyU64(s.chipUpReq), ChipUpResp: copyU64(s.chipUpResp),
 		ChipDownReq: copyU64(s.chipDownReq), ChipDownResp: copyU64(s.chipDownResp),
-	}
-	st.Local = make([][]uint32, len(s.local))
-	for i, b := range s.local {
-		st.Local[i] = trimZeros(b)
-	}
-	st.Shared = make([][]uint32, len(s.shared))
-	for i, b := range s.shared {
-		st.Shared[i] = trimZeros(b)
 	}
 	var clients []any
 	loadIdx := make(map[LoadClient]int32)
@@ -124,15 +146,31 @@ func (s *System) CaptureState() (*State, []any) {
 	return st, clients
 }
 
-// RestoreState installs a captured snapshot into a freshly built System
-// of the same configuration. clients must be the rebuilt client table,
-// index-aligned with the one CaptureState returned.
-func (s *System) RestoreState(st *State, clients []any) error {
-	if len(st.Local) != len(s.local) || len(st.Shared) != len(s.shared) {
-		return fmt.Errorf("mem: state bank count does not match the configuration")
+// CaptureBankRange snapshots the local and shared bank images of cores
+// [lo, hi), trimmed of trailing zero words.
+func (s *System) CaptureBankRange(lo, hi int) (local, shared [][]uint32) {
+	local = make([][]uint32, hi-lo)
+	shared = make([][]uint32, hi-lo)
+	for i := lo; i < hi; i++ {
+		local[i-lo] = trimZeros(s.local[i])
+		shared[i-lo] = trimZeros(s.shared[i])
 	}
-	if len(st.Code) > len(s.code) {
-		return fmt.Errorf("mem: state code image exceeds the code bank")
+	return local, shared
+}
+
+// CaptureState snapshots the whole system, bank images included, as one
+// State (the version-1 monolithic layout).
+func (s *System) CaptureState() (*State, []any) {
+	st, clients := s.CaptureGlobalState()
+	st.Local, st.Shared = s.CaptureBankRange(0, s.cfg.Cores)
+	return st, clients
+}
+
+// RestoreBankRange installs captured bank images for cores starting at
+// lo.
+func (s *System) RestoreBankRange(lo int, local, shared [][]uint32) error {
+	if len(local) != len(shared) || lo < 0 || lo+len(local) > len(s.local) {
+		return fmt.Errorf("mem: state bank range [%d,%d+%d) does not fit the configuration", lo, lo, len(local))
 	}
 	restoreBank := func(dst, src []uint32, what string, i int) error {
 		if len(src) > len(dst) {
@@ -141,6 +179,82 @@ func (s *System) RestoreState(st *State, clients []any) error {
 		clear(dst)
 		copy(dst, src)
 		return nil
+	}
+	for i := range local {
+		if err := restoreBank(s.local[lo+i], local[i], "local", lo+i); err != nil {
+			return err
+		}
+		if err := restoreBank(s.shared[lo+i], shared[i], "shared", lo+i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreTreeLinks installs the router-tree link levels. A version-1
+// snapshot carries no level-indexed arrays; its two fixed levels arrive
+// in the legacy R1*/R2* fields instead, and deeper levels or express
+// backward links cannot exist in such a snapshot (the format predates
+// machines above 64 cores).
+func (s *System) restoreTreeLinks(st *State) error {
+	restoreLevels := func(dst [][]uint64, src [][]uint64, name string) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("mem: state link levels %s do not match the configuration", name)
+		}
+		for k := range dst {
+			if len(src[k]) != len(dst[k]) {
+				return fmt.Errorf("mem: state link level %s[%d] does not match the configuration", name, k)
+			}
+			copy(dst[k], src[k])
+		}
+		return nil
+	}
+	if st.UpReq != nil || st.R1UpReq == nil {
+		for _, l := range []struct {
+			dst  [][]uint64
+			src  [][]uint64
+			name string
+		}{
+			{s.upReq, st.UpReq, "upReq"}, {s.upResp, st.UpResp, "upResp"},
+			{s.downReq, st.DownReq, "downReq"}, {s.downResp, st.DownResp, "downResp"},
+			{s.backUp, st.BackUp, "backUp"}, {s.backDown, st.BackDown, "backDown"},
+		} {
+			if err := restoreLevels(l.dst, l.src, l.name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Legacy layout: level 1 = r1 arrays, level 2 = r2 arrays. The old
+	// format always allocated both levels (length >= 1) even when the
+	// machine was too small to route through them; such unused arrays
+	// hold only zeros and are dropped.
+	legacy := [][4][]uint64{
+		{st.R1UpReq, st.R1UpResp, st.R1DownReq, st.R1DownResp},
+		{st.R2UpReq, st.R2UpResp, st.R2DownReq, st.R2DownResp},
+	}
+	for k, fam := range legacy {
+		if k >= len(s.upReq) {
+			continue
+		}
+		dst := [4][]uint64{s.upReq[k], s.upResp[k], s.downReq[k], s.downResp[k]}
+		for f := range dst {
+			if len(fam[f]) != len(dst[f]) {
+				return fmt.Errorf("mem: state legacy link level %d does not match the configuration", k+1)
+			}
+			copy(dst[f], fam[f])
+		}
+	}
+	return nil
+}
+
+// RestoreGlobalState installs a global snapshot — everything but the
+// bank images — into a freshly built System of the same configuration.
+// clients must be the rebuilt client table, index-aligned with the one
+// CaptureGlobalState returned.
+func (s *System) RestoreGlobalState(st *State, clients []any) error {
+	if len(st.Code) > len(s.code) {
+		return fmt.Errorf("mem: state code image exceeds the code bank")
 	}
 	restoreLinks := func(dst, src []uint64, name string) error {
 		if len(src) != len(dst) {
@@ -151,16 +265,6 @@ func (s *System) RestoreState(st *State, clients []any) error {
 	}
 	clear(s.code)
 	copy(s.code, st.Code)
-	for i := range s.local {
-		if err := restoreBank(s.local[i], st.Local[i], "local", i); err != nil {
-			return err
-		}
-	}
-	for i := range s.shared {
-		if err := restoreBank(s.shared[i], st.Shared[i], "shared", i); err != nil {
-			return err
-		}
-	}
 	if len(st.Backward) > 0 {
 		s.ensureBackward()
 	}
@@ -172,10 +276,6 @@ func (s *System) RestoreState(st *State, clients []any) error {
 		{s.coreUp, st.CoreUp, "coreUp"}, {s.coreDown, st.CoreDown, "coreDown"},
 		{s.bankPort, st.BankPort, "bankPort"}, {s.bankLocal, st.BankLocal, "bankLocal"},
 		{s.localPort, st.LocalPort, "localPort"},
-		{s.r1UpReq, st.R1UpReq, "r1UpReq"}, {s.r1UpResp, st.R1UpResp, "r1UpResp"},
-		{s.r1DownReq, st.R1DownReq, "r1DownReq"}, {s.r1DownResp, st.R1DownResp, "r1DownResp"},
-		{s.r2UpReq, st.R2UpReq, "r2UpReq"}, {s.r2UpResp, st.R2UpResp, "r2UpResp"},
-		{s.r2DownReq, st.R2DownReq, "r2DownReq"}, {s.r2DownResp, st.R2DownResp, "r2DownResp"},
 		{s.forward, st.Forward, "forward"}, {s.backward, st.Backward, "backward"},
 		{s.chipUpReq, st.ChipUpReq, "chipUpReq"}, {s.chipUpResp, st.ChipUpResp, "chipUpResp"},
 		{s.chipDownReq, st.ChipDownReq, "chipDownReq"}, {s.chipDownResp, st.ChipDownResp, "chipDownResp"},
@@ -183,6 +283,9 @@ func (s *System) RestoreState(st *State, clients []any) error {
 		if err := restoreLinks(l.dst, l.src, l.name); err != nil {
 			return err
 		}
+	}
+	if err := s.restoreTreeLinks(st); err != nil {
+		return err
 	}
 	s.seq = st.Seq
 	s.Stats = st.Stats
@@ -220,6 +323,18 @@ func (s *System) RestoreState(st *State, clients []any) error {
 	return nil
 }
 
+// RestoreState installs a monolithic snapshot (global state plus all
+// bank images) into a freshly built System of the same configuration.
+func (s *System) RestoreState(st *State, clients []any) error {
+	if len(st.Local) != len(s.local) || len(st.Shared) != len(s.shared) {
+		return fmt.Errorf("mem: state bank count does not match the configuration")
+	}
+	if err := s.RestoreBankRange(0, st.Local, st.Shared); err != nil {
+		return err
+	}
+	return s.RestoreGlobalState(st, clients)
+}
+
 // Reset returns the system to its post-New state, keeping allocations,
 // for warm-machine reuse across runs.
 func (s *System) Reset() {
@@ -232,12 +347,17 @@ func (s *System) Reset() {
 	}
 	for _, l := range [][]uint64{
 		s.coreUp, s.coreDown, s.bankPort, s.bankLocal, s.localPort,
-		s.r1UpReq, s.r1UpResp, s.r1DownReq, s.r1DownResp,
-		s.r2UpReq, s.r2UpResp, s.r2DownReq, s.r2DownResp,
 		s.forward, s.backward,
 		s.chipUpReq, s.chipUpResp, s.chipDownReq, s.chipDownResp,
 	} {
 		clear(l)
+	}
+	for _, lv := range [][][]uint64{
+		s.upReq, s.upResp, s.downReq, s.downResp, s.backUp, s.backDown,
+	} {
+		for _, l := range lv {
+			clear(l)
+		}
 	}
 	clear(s.events) // release clients
 	s.events = s.events[:0]

@@ -131,6 +131,14 @@ const (
 	NumLinkClasses = int(LinkChipResp) + 1
 )
 
+// Router levels beyond r2 — which exist only on machines above 64
+// cores — attribute their waits to the r2 classes: LinkWait is a fixed
+// array inside every serialized checkpoint, and gob ties a fixed
+// array's identity to its length, so growing the enum would make
+// version-1 checkpoints undecodable. The upper tree is one aggregate
+// contention bucket; per-level granularity lives in the timing model,
+// not the counters.
+
 var linkNames = [NumLinkClasses]string{
 	"core-up", "core-down", "local-port", "bank-port", "bank-local",
 	"r1-req", "r1-resp", "r2-req", "r2-resp",

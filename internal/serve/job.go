@@ -54,6 +54,14 @@ func (r *JobRequest) validate() error {
 	if r.Cores < 0 {
 		return fmt.Errorf("cores %d must not be negative", r.Cores)
 	}
+	// 0 means "server default" (4); anything else must be a geometry the
+	// simulator accepts, rejected here so the client gets a 400 instead
+	// of a queued job that dies at machine construction.
+	if r.Cores != 0 {
+		if err := lbp.ValidateGeometry(r.Cores, 0); err != nil {
+			return err
+		}
+	}
 	if b := r.BankBytes; b != 0 {
 		if b&(b-1) != 0 {
 			return fmt.Errorf("bankBytes %d must be a power of two", b)

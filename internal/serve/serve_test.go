@@ -399,6 +399,7 @@ func TestRequestValidation(t *testing.T) {
 		{"both forms", JobRequest{Source: "main:\n", Image: []byte{1}}},
 		{"bad lang", JobRequest{Source: "x", Lang: "rust"}},
 		{"negative cores", JobRequest{Source: "x", Cores: -1}},
+		{"cores beyond MaxCores", JobRequest{Source: "x", Cores: 1025}},
 		{"bank not power of two", JobRequest{Source: "x", BankBytes: 12345}},
 		{"bank below the compiler reserve", JobRequest{Source: "x", BankBytes: 1024}},
 		{"negative ring", JobRequest{Source: "x", Ring: -1}},

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -127,6 +128,141 @@ func TestCheckpointResumeEquivalenceMatrix(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// setGetProgram compiles the placed set/get program (the Figure 4
+// layout: hart t owns chunk words of core t/4's bank) for an n-core
+// machine. It is the workload of the large-geometry tests below — all
+// 4n harts fork, so the serpentine wave crosses every core and the
+// full router hierarchy carries traffic.
+func setGetProgram(t *testing.T, cores, chunk int) *asm.Program {
+	t.Helper()
+	src := fmt.Sprintf(`
+#define H %d
+#define CHUNK %d
+#define RESW 128
+
+int *vchunk(int t) { return lbp_bank_ptr(t >> 2) + RESW + (t & 3) * CHUNK; }
+
+void main() {
+	int t;
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i;
+		p = vchunk(t);
+		for (i = 0; i < CHUNK; i++) { *p = t + i; p = p + 1; }
+	}
+	#pragma omp parallel for
+	for (t = 0; t < H; t++) {
+		int *p; int i; int acc;
+		p = vchunk(t);
+		acc = 0;
+		for (i = 0; i < CHUNK; i++) { acc = acc + *p; p = p + 1; }
+		*vchunk(t) = acc;
+	}
+}
+`, cores*4, chunk)
+	opt := cc.DefaultOptions()
+	opt.Cores = cores
+	opt.BankReserveBytes = 512
+	asmText, err := cc.BuildProgram(src, opt)
+	if err != nil {
+		t.Fatalf("%d cores: compile: %v", cores, err)
+	}
+	prog, err := asm.Assemble(asmText, asm.Options{})
+	if err != nil {
+		t.Fatalf("%d cores: assemble: %v", cores, err)
+	}
+	return prog
+}
+
+// TestEquivalence256Cores: on a 256-core machine — two router levels
+// deeper than the paper's 64-core chip — every {-simworkers} × {-ffwd}
+// crossing must produce one outcome, digest included. Runs under -race
+// in tier-1, so the sharded compute phase and the per-worker commit
+// lanes are also checked for data races at depth.
+func TestEquivalence256Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: 256-core machine")
+	}
+	prog := setGetProgram(t, 256, 16)
+	spec := Spec{
+		Program:   prog,
+		Cores:     256,
+		MaxCycles: 50_000_000,
+		Trace:     TraceSpec{Digest: true},
+	}
+	var want outcome
+	for i, k := range []knobs{{1, true}, {1, false}, {2, true}, {2, false}} {
+		sp := spec
+		sp.SimWorkers = k.workers
+		sp.NoFastForward = !k.ffwd
+		sess, err := New(sp)
+		if err != nil {
+			t.Fatalf("%+v: %v", k, err)
+		}
+		_, got := runToEnd(t, sess)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%+v diverged from {1 true}:\n got %+v\nwant %+v", k, got, want)
+		}
+	}
+}
+
+// TestCheckpointResume1024Cores: split-run bit-identity at the largest
+// supported geometry. The split leg advances under one host-knob
+// setting, checkpoints through the sharded v2 format (16 shards of 64
+// cores), and resumes under another; halt, stats, memory stats and
+// digest must match the uninterrupted run exactly.
+func TestCheckpointResume1024Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: 1024-core machine")
+	}
+	prog := setGetProgram(t, 1024, 16)
+	spec := Spec{
+		Program:   prog,
+		Cores:     1024,
+		MaxCycles: 50_000_000,
+		Trace:     TraceSpec{Digest: true},
+	}
+	base, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, want := runToEnd(t, base)
+	k := baseRes.Stats.Cycles / 2
+
+	sp := spec
+	sp.SimWorkers = 2
+	sp.NoFastForward = true
+	sess, err := New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sess.Advance(k); err != nil || res != nil {
+		t.Fatalf("advance to %d: res=%v err=%v", k, res, err)
+	}
+	cp, err := sess.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	resumed, err := Resume(cp, ResumeSpec{
+		MaxCycles:  50_000_000,
+		SimWorkers: 3,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Machine().Cycle() != k {
+		t.Fatalf("resumed at cycle %d, want %d", resumed.Machine().Cycle(), k)
+	}
+	_, got := runToEnd(t, resumed)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("split run diverged:\n got %+v\nwant %+v", got, want)
 	}
 }
 
@@ -426,5 +562,35 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if _, err := sess.RunWithCheckpoints(0, func([]byte) error { return nil }); err == nil {
 		t.Error("RunWithCheckpoints must reject a zero interval")
+	}
+}
+
+// TestSpecGeometryValidation: sim.New is the common funnel for machine
+// geometry, so it rejects core counts outside [1, lbp.MaxCores] and
+// degenerate router degrees before any machine is built. Both the Cores
+// shorthand and an explicit Config go through the same check.
+func TestSpecGeometryValidation(t *testing.T) {
+	prog, err := workloads.BuildMatmul(workloads.Base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{lbp.MaxCores + 1, 4096} {
+		if _, err := New(Spec{Program: prog, Cores: cores}); err == nil {
+			t.Errorf("New accepted %d cores, want geometry error", cores)
+		}
+	}
+	cfg := lbp.DefaultConfig(4)
+	cfg.Cores = 0
+	if _, err := New(Spec{Program: prog, Config: &cfg}); err == nil {
+		t.Error("New accepted a Config with 0 cores")
+	}
+	bad := lbp.DefaultConfig(4)
+	bad.Mem.RouterDegree = 1
+	if _, err := New(Spec{Program: prog, Config: &bad}); err == nil {
+		t.Error("New accepted router degree 1")
+	}
+	// The largest supported geometry still builds.
+	if _, err := New(Spec{Program: prog, Cores: lbp.MaxCores}); err != nil {
+		t.Errorf("New rejected %d cores: %v", lbp.MaxCores, err)
 	}
 }

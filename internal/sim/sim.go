@@ -102,6 +102,9 @@ func New(spec Spec) (*Session, error) {
 		return nil, fmt.Errorf("sim: Spec.Program is required")
 	}
 	s := &Session{spec: spec, cfg: spec.machineConfig()}
+	if err := lbp.ValidateGeometry(s.cfg.Cores, s.cfg.Mem.RouterDegree); err != nil {
+		return nil, err
+	}
 	s.m = lbp.New(s.cfg)
 	s.attachObservers()
 	if err := s.m.LoadProgram(spec.Program); err != nil {

@@ -78,12 +78,18 @@ echo "verify: lbp-serve smoke OK"
 go run ./cmd/lbp-fuzz -n 25 -seed 1 -crashdir "$smokedir/fuzz"
 echo "verify: lbp-fuzz smoke OK"
 
+# 256-core geometry smoke: a small campaign with the 256-core rung of
+# the cores ladder enabled, so the generalized router hierarchy and the
+# sharded commit lanes are exercised at depth on every verify run.
+go run ./cmd/lbp-fuzz -n 5 -seed 2 -maxcores 256 -crashdir "$smokedir/fuzz256"
+echo "verify: 256-core smoke OK"
+
 if [ -n "$fig" ]; then
     go run ./cmd/lbp-bench -fig "$fig" -outdir out/
     go run ./cmd/benchdiff "BENCH_fig$fig.json" "out/BENCH_fig$fig.json"
     # Host-side interpreter throughput (cycles/s): steady-state numbers
     # from the Go microbenchmarks, for eyeballing against EXPERIMENTS E17.
-    go test ./internal/lbp -run '^$' -bench 'BenchmarkMachineStep|BenchmarkFigRow' -benchtime 1s
+    go test ./internal/lbp -run '^$' -bench 'BenchmarkMachineStep|BenchmarkFigRow|BenchmarkPhaseBCommit' -benchtime 1s
 fi
 
 echo "verify: OK"
