@@ -8,6 +8,10 @@
 //	          [-maxcycles N] [-slice N] [-ckptdir DIR] [-drain D]
 //	          [-pool-per-key N] [-pool-total N] [-addrfile FILE]
 //	          [-cachedir DIR] [-cachemax BYTES]
+//	lbp-serve -worker HOST:PORT [-slice N] [-pool-per-key N]
+//	          [-pool-total N] [-addrfile FILE]
+//	lbp-serve -backends A,B,C [-per-backend N] [-steal-depth N]
+//	          [-ckpt-every N] [-retries N] [...front-end flags]
 //
 // Endpoints:
 //
@@ -36,6 +40,17 @@
 //
 // -addr :0 picks an ephemeral port; -addrfile writes the bound address
 // to a file once listening, for scripts that need to find the port.
+//
+// Distributed serving splits the binary into two roles. `-worker
+// HOST:PORT` runs a headless worker: a JSON-RPC server executing
+// dispatched jobs on its own warm pool, no HTTP. `-backends A,B,C`
+// runs the HTTP front end as a coordinator: jobs that miss the result
+// cache are sharded across the named workers with digest-affine
+// routing (repeat jobs land on the worker whose pool is warm for
+// them), work stealing when a queue runs deep, and checkpoint
+// migration — a job whose worker dies mid-run resumes from its last
+// streamed checkpoint on another worker, bit-identical to an
+// uninterrupted run. The HTTP surface is unchanged in either mode.
 package main
 
 import (
@@ -46,10 +61,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/dispatch"
 	"repro/internal/serve"
 )
 
@@ -67,11 +84,25 @@ func main() {
 	poolTotal := flag.Int("pool-total", 0, "warm machines kept in total (0 = default)")
 	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = caching off)")
 	cacheMax := flag.Int64("cachemax", 0, "result cache size bound in bytes (0 = 256 MiB)")
+	workerAddr := flag.String("worker", "", "run as a headless worker listening on `host:port` (no HTTP)")
+	backends := flag.String("backends", "", "run as a coordinator over comma-separated worker `addresses`")
+	perBackend := flag.Int("per-backend", 0, "concurrent dispatches per backend (0 = 4)")
+	stealDepth := flag.Int("steal-depth", 0, "queue depth before idle backends steal work (0 = 2)")
+	ckptEvery := flag.Int64("ckpt-every", 0, "cycles between streamed migration checkpoints (0 = 4M, negative = never)")
+	retries := flag.Int("retries", 0, "dispatch attempts before a job fails (0 = one per backend)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: lbp-serve [flags] (it takes no arguments)")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *workerAddr != "" && *backends != "" {
+		fmt.Fprintln(os.Stderr, "lbp-serve: -worker and -backends are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerAddr != "" {
+		runWorker(*workerAddr, *addrFile, *slice, *poolPerKey, *poolTotal)
+		return
 	}
 	if *queue < 1 {
 		fmt.Fprintf(os.Stderr, "lbp-serve: -queue %d must be positive\n", *queue)
@@ -102,7 +133,23 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Config{
+	var coord *dispatch.Coordinator
+	if *backends != "" {
+		var err error
+		coord, err = dispatch.New(dispatch.Config{
+			Backends:        strings.Split(*backends, ","),
+			PerBackend:      *perBackend,
+			QueueDepth:      *queue,
+			StealDepth:      *stealDepth,
+			Attempts:        *retries,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := serve.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		MaxCyclesCap:  *maxCycles,
@@ -112,7 +159,11 @@ func main() {
 		PoolPerKey:    *poolPerKey,
 		PoolTotal:     *poolTotal,
 		Cache:         store,
-	})
+	}
+	if coord != nil {
+		cfg.Dispatcher = coord
+	}
+	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -144,7 +195,49 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "lbp-serve:", err)
 		}
+		if coord != nil {
+			if err := coord.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lbp-serve:", err)
+			}
+		}
 		fmt.Println("lbp-serve: drained, bye")
+	case err := <-errc:
+		fatal(err)
+	}
+}
+
+// runWorker is the -worker mode: a headless JSON-RPC job executor on
+// its own warm pool. It serves until SIGINT/SIGTERM, then closes —
+// running jobs cancel at their next slice boundary and their machines
+// flow back through the usual accounting before exit.
+func runWorker(addr, addrFile string, slice uint64, poolPerKey, poolTotal int) {
+	w := dispatch.NewWorker(dispatch.WorkerConfig{
+		Slice:      slice,
+		PoolPerKey: poolPerKey,
+		PoolTotal:  poolTotal,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("lbp-serve: worker listening on %s\n", bound)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("lbp-serve: worker: %s: closing\n", sig)
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lbp-serve:", err)
+		}
+		fmt.Println("lbp-serve: worker: bye")
 	case err := <-errc:
 		fatal(err)
 	}

@@ -83,9 +83,8 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	removals := s.evictLocked()
+	s.remove(s.evictLocked())
 	s.mu.Unlock()
-	s.remove(removals)
 	return s, nil
 }
 
@@ -200,28 +199,33 @@ func (s *Store) Put(key string, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
 	}
+	// The rename and every eviction unlink happen under the index lock:
+	// if they did not, an eviction chosen before a concurrent Put could
+	// unlink the fresh payload the Put just renamed into place, leaving
+	// an indexed entry with no file behind it (a phantom entry whose
+	// bytes stay counted until a Get heals it). Both are metadata-only
+	// syscalls; the payload write itself stayed outside the lock.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
 	}
-
-	s.mu.Lock()
 	if old, ok := s.entries[key]; ok {
 		s.bytes -= old.size
 	}
 	s.seq++
 	s.entries[key] = entry{size: int64(len(payload)), seq: s.seq}
 	s.bytes += int64(len(payload))
-	removals := s.evictLocked()
-	s.mu.Unlock()
-	s.remove(removals)
+	s.remove(s.evictLocked())
 	return nil
 }
 
 // evictLocked drops least-recently-used index entries until the byte
 // bound holds (the newest entry always survives, even oversized) and
-// returns the keys whose files the caller must remove outside the
-// lock. Callers hold s.mu.
+// returns the keys whose files the caller must remove before releasing
+// the lock — unlinking after unlock races a concurrent Put re-adding
+// the same key. Callers hold s.mu.
 func (s *Store) evictLocked() []string {
 	var removals []string
 	for s.bytes > s.max && len(s.entries) > 1 {
@@ -239,7 +243,8 @@ func (s *Store) evictLocked() []string {
 	return removals
 }
 
-// remove deletes evicted payload files.
+// remove deletes evicted payload files. Callers hold s.mu so the
+// unlinks cannot cross a concurrent Put's rename of the same key.
 func (s *Store) remove(keys []string) {
 	for _, key := range keys {
 		os.Remove(s.path(key))
@@ -250,11 +255,13 @@ func (s *Store) remove(keys []string) {
 // no-op, so callers can disagree about what is present.
 func (s *Store) Remove(key string) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e, ok := s.entries[key]; ok {
 		delete(s.entries, key)
 		s.bytes -= e.size
 	}
-	s.mu.Unlock()
+	// Unlinked under the lock for the same reason evictions are: after
+	// unlock the file may already be a fresh concurrent Put's payload.
 	if validKey(key) {
 		os.Remove(s.path(key))
 	}

@@ -229,3 +229,77 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Errorf("stats = %+v, want a single entry of %d bytes", st, len(want))
 	}
 }
+
+// TestConcurrentEvictionVsPut pins the eviction/Put race: with a bound
+// tight enough that every Put evicts, a concurrent Put of an evicted
+// key must never end up as a phantom entry — indexed but with its
+// fresh file unlinked by the eviction that chose it a moment earlier.
+// Readers racing the churn must see a full payload or a clean miss,
+// and afterward the index must agree with the directory byte for byte.
+// Runs under -race in tier-1.
+func TestConcurrentEvictionVsPut(t *testing.T) {
+	const keys = 8
+	const size = 1024
+	// Room for ~2.5 payloads: every Put beyond the second evicts.
+	s, err := Open(t.TempDir(), int64(size*5/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, keys)
+	addrs := make([]string, keys)
+	for i := range payloads {
+		addrs[i] = keyOf(fmt.Sprintf("churn-%d", i))
+		payloads[i] = payload(fmt.Sprintf("churn-%d", i), size)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				i := (w + j) % keys
+				if err := s.Put(addrs[i], payloads[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				i := (r + j) % keys
+				if got, ok := s.Get(addrs[i]); ok && string(got) != string(payloads[i]) {
+					t.Errorf("torn or stale read for key %d: %d bytes", i, len(got))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// The index and the directory must agree exactly: every indexed
+	// entry has its file, sizes match, and the byte total adds up.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for key, e := range s.entries {
+		info, err := os.Stat(s.path(key))
+		if err != nil {
+			t.Errorf("phantom entry %s: indexed but %v", key[:8], err)
+			continue
+		}
+		if info.Size() != e.size {
+			t.Errorf("entry %s: indexed size %d, file size %d", key[:8], e.size, info.Size())
+		}
+		total += e.size
+	}
+	if total != s.bytes {
+		t.Errorf("accounted bytes %d, sum of entries %d", s.bytes, total)
+	}
+	if s.bytes > s.max {
+		t.Errorf("bytes %d exceed the bound %d after churn", s.bytes, s.max)
+	}
+}

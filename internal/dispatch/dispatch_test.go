@@ -1,0 +1,467 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+// quickSource exits after a few hundred cycles.
+const quickSource = `main:
+	li t1, 100
+loop:
+	addi t1, t1, -1
+	bne t1, zero, loop
+	li ra, 0
+	li t0, -1
+	p_ret
+`
+
+// spinSource busy-loops for a few million simulated cycles — long
+// enough to kill a worker mid-run — then exits cleanly.
+const spinSource = `main:
+	li t1, 2000000
+loop:
+	addi t1, t1, -1
+	bne t1, zero, loop
+	li ra, 0
+	li t0, -1
+	p_ret
+`
+
+// imageOf assembles source and returns its serialized image.
+func imageOf(t *testing.T, source string) []byte {
+	t.Helper()
+	prog, err := asm.Assemble(source, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prog.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// directRun executes a job's spec locally through sim.Session: the
+// deterministic outcome every dispatch path must reproduce bit for bit.
+func directRun(t *testing.T, job *Job) *Result {
+	t.Helper()
+	prog, err := asm.ReadImage(bytes.NewReader(job.Image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sim.New(sim.Spec{
+		Program:         prog,
+		Cores:           job.Cores,
+		SharedBankBytes: job.BankBytes,
+		MaxCycles:       job.MaxCycles,
+		Trace:           sim.TraceSpec{Digest: job.Digest, Ring: job.Ring},
+		Profile:         job.Profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Result{Status: StatusOK}
+	fillResult(out, sess, res, job.Ring)
+	return out
+}
+
+// sameDeterministic fails the test unless got reproduces want's
+// deterministic fields exactly.
+func sameDeterministic(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Halt != want.Halt || got.Cycles != want.Cycles || got.Retired != want.Retired ||
+		got.Digest != want.Digest || got.Events != want.Events || got.IPC != want.IPC {
+		t.Errorf("%s diverged: halt=%q cycles=%d retired=%d digest=%#x events=%d,"+
+			" want halt=%q cycles=%d retired=%d digest=%#x events=%d",
+			label, got.Halt, got.Cycles, got.Retired, got.Digest, got.Events,
+			want.Halt, want.Cycles, want.Retired, want.Digest, want.Events)
+	}
+	if want.Mem != nil && (got.Mem == nil || *got.Mem != *want.Mem) {
+		t.Errorf("%s: memory stats diverged: %+v, want %+v", label, got.Mem, want.Mem)
+	}
+	if want.Perf != nil && (got.Perf == nil || got.Perf.HartCycles != want.Perf.HartCycles) {
+		t.Errorf("%s: perf snapshot diverged", label)
+	}
+}
+
+// startWorker boots a worker on an ephemeral port; cleanup closes it.
+func startWorker(t *testing.T, cfg WorkerConfig) (*Worker, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(cfg)
+	go w.Serve(ln)
+	t.Cleanup(func() { w.Close() })
+	return w, ln.Addr().String()
+}
+
+// waitFor polls cond for up to 10 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSingleBackendRoundTrip: one worker, one job, deterministic
+// fields identical to a direct run; the machine flows back to the pool.
+func TestSingleBackendRoundTrip(t *testing.T) {
+	w, addr := startWorker(t, WorkerConfig{Slice: 1024})
+	c, err := New(Config{Backends: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := &Job{ID: "job-1", Key: "k1", Image: imageOf(t, quickSource),
+		Cores: 1, MaxCycles: 1_000_000, Digest: true, Ring: 4, Profile: true}
+	want := directRun(t, job)
+	res, err := c.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("status %q (%s), want ok", res.Status, res.Error)
+	}
+	sameDeterministic(t, "dispatched job", res, want)
+	if res.Worker != addr {
+		t.Errorf("result worker = %q, want %q", res.Worker, addr)
+	}
+	if len(res.Tail) == 0 {
+		t.Error("ring requested but tail empty")
+	}
+	m := w.Metrics()
+	if m.CheckedOut != 1 || m.PoolReturned != 1 || m.MachinesOut != 0 {
+		t.Errorf("machine accounting off: %+v", m)
+	}
+	cm := c.Metrics()
+	if cm.Completed != 1 || cm.Failed != 0 || cm.BackendsUp != 1 {
+		t.Errorf("coordinator metrics off: %+v", cm)
+	}
+}
+
+// TestDigestAffinityRouting: jobs with the same key land on the same
+// backend (warming its pool), jobs overall use both backends.
+func TestDigestAffinityRouting(t *testing.T) {
+	w1, addr1 := startWorker(t, WorkerConfig{Slice: 1024})
+	w2, addr2 := startWorker(t, WorkerConfig{Slice: 1024})
+	c, err := New(Config{Backends: []string{addr1, addr2}, StealDepth: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	image := imageOf(t, quickSource)
+	// Repeats of one key always hit one backend; the second run there
+	// must be served by a warm pooled machine.
+	workers := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		res, err := c.Do(context.Background(), &Job{
+			ID: fmt.Sprintf("rep-%d", i), Key: "same-key", Image: image,
+			Cores: 1, MaxCycles: 1_000_000, Digest: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[res.Worker] = true
+		if i > 0 && !res.PoolWarm {
+			t.Errorf("repeat %d not served warm: affinity broken", i)
+		}
+	}
+	if len(workers) != 1 {
+		t.Errorf("one key used %d backends %v, want 1", len(workers), workers)
+	}
+	// Distinct keys spread across the fleet.
+	spread := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		res, err := c.Do(context.Background(), &Job{
+			ID: fmt.Sprintf("spread-%d", i), Key: fmt.Sprintf("key-%d", i),
+			Image: image, Cores: 1, MaxCycles: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spread[res.Worker] = true
+	}
+	if len(spread) != 2 {
+		t.Errorf("32 distinct keys used backends %v, want both", spread)
+	}
+	if out1, out2 := w1.Metrics().MachinesOut, w2.Metrics().MachinesOut; out1 != 0 || out2 != 0 {
+		t.Errorf("machines still out after all jobs done: %d, %d", out1, out2)
+	}
+}
+
+// TestWorkStealing: with every job affine to one backend and that
+// backend limited to one slot, the other backend steals from the deep
+// queue — and stolen runs stay bit-identical.
+func TestWorkStealing(t *testing.T) {
+	_, addr1 := startWorker(t, WorkerConfig{Slice: 1024})
+	_, addr2 := startWorker(t, WorkerConfig{Slice: 1024})
+	c, err := New(Config{Backends: []string{addr1, addr2}, PerBackend: 1, StealDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := &Job{Image: imageOf(t, quickSource), Cores: 1, MaxCycles: 1_000_000, Digest: true}
+	want := directRun(t, job)
+
+	const jobs = 16
+	results := make([]*Result, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := *job
+			j.ID = fmt.Sprintf("steal-%d", i)
+			j.Key = "hot-key" // every job affine to the same backend
+			results[i], errs[i] = c.Do(context.Background(), &j)
+		}(i)
+	}
+	wg.Wait()
+	workers := make(map[string]int)
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		sameDeterministic(t, fmt.Sprintf("job %d", i), results[i], want)
+		workers[results[i].Worker]++
+	}
+	if c.Metrics().Steals == 0 || len(workers) != 2 {
+		t.Errorf("no stealing happened: steals=%d spread=%v", c.Metrics().Steals, workers)
+	}
+}
+
+// TestWorkerLossMigratesFromCheckpoint is the tentpole acceptance
+// test: a worker dies mid-job, the coordinator re-dispatches the job
+// to the survivor resuming from the last streamed checkpoint, and the
+// final result is bit-identical to an uninterrupted run.
+func TestWorkerLossMigratesFromCheckpoint(t *testing.T) {
+	w1, addr1 := startWorker(t, WorkerConfig{Slice: 4096})
+	w2, addr2 := startWorker(t, WorkerConfig{Slice: 4096})
+	backends := []string{addr1, addr2}
+	c, err := New(Config{Backends: backends, CheckpointEvery: 64 << 10, StealDepth: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := &Job{Image: imageOf(t, spinSource), Cores: 1, MaxCycles: 50_000_000, Digest: true}
+	want := directRun(t, job)
+
+	// Pick a key whose affine backend is the worker we will kill.
+	r := buildRing(backends)
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("victim-key-%d", i)
+		if r.walk(key)[0] == 0 {
+			break
+		}
+	}
+	job.ID, job.Key = "migrating-job", key
+
+	done := make(chan struct{})
+	var res *Result
+	var doErr error
+	go func() {
+		defer close(done)
+		res, doErr = c.Do(context.Background(), job)
+	}()
+	// Kill the affine worker only after a checkpoint has streamed, so
+	// the retry is a true mid-run migration, not a cold restart.
+	waitFor(t, "first streamed checkpoint", func() bool { return c.Metrics().Checkpoints > 0 })
+	w1.Close()
+	<-done
+
+	if doErr != nil {
+		t.Fatalf("migrated job failed: %v", doErr)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("migrated job status %q (%s), want ok", res.Status, res.Error)
+	}
+	sameDeterministic(t, "migrated job", res, want)
+	if res.Worker != addr2 {
+		t.Errorf("survivor %q did not run the job (worker=%q)", addr2, res.Worker)
+	}
+	if !res.Resumed {
+		t.Error("result not marked resumed: the retry restarted from cycle 0 instead of migrating")
+	}
+	m := c.Metrics()
+	if m.Retries == 0 || m.Migrations == 0 {
+		t.Errorf("metrics = %+v, want retries > 0 and migrations > 0", m)
+	}
+	// The killed worker released its machine through the cancel path;
+	// the survivor's checkpoint-restored machine was discarded (it
+	// cannot be pooled). Nothing leaks on either side.
+	waitFor(t, "killed worker released its machine", func() bool {
+		return w1.Metrics().MachinesOut == 0
+	})
+	m1, m2 := w1.Metrics(), w2.Metrics()
+	if m1.CheckedOut != m1.PoolReturned+m1.PoolDiscarded {
+		t.Errorf("worker 1 leaked: %+v", m1)
+	}
+	if m2.MachinesOut != 0 || m2.CheckedOut != m2.PoolReturned+m2.PoolDiscarded {
+		t.Errorf("worker 2 leaked: %+v", m2)
+	}
+	if m2.Resumed != 1 || m2.PoolDiscarded != 1 {
+		t.Errorf("survivor metrics = %+v, want exactly one resumed run discarding its machine", m2)
+	}
+}
+
+// TestMachineLeakAccounting drives every failure path the serving
+// fleet can hit — clean finish, budget fault, attempt deadline, client
+// cancel mid-run, coordinator connection death mid-run — and verifies
+// the worker's machine accounting balances to zero afterward.
+func TestMachineLeakAccounting(t *testing.T) {
+	w, addr := startWorker(t, WorkerConfig{Slice: 1024})
+	c, err := New(Config{Backends: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quick := imageOf(t, quickSource)
+	spin := imageOf(t, spinSource)
+
+	// Clean finish.
+	if res, err := c.Do(context.Background(), &Job{ID: "ok", Image: quick, Cores: 1,
+		MaxCycles: 1_000_000, Digest: true}); err != nil || res.Status != StatusOK {
+		t.Fatalf("ok job: %v / %+v", err, res)
+	}
+	// Budget exceeded: the machine stops, the worker is healthy.
+	if res, err := c.Do(context.Background(), &Job{ID: "budget", Image: spin, Cores: 1,
+		MaxCycles: 10_000}); err != nil || res.Status != StatusError {
+		t.Fatalf("budget job: %v / %+v", err, res)
+	}
+	// Attempt deadline.
+	if res, err := c.Do(context.Background(), &Job{ID: "deadline", Image: spin, Cores: 1,
+		MaxCycles: 500_000_000, DeadlineMs: 30}); err != nil || res.Status != StatusDeadline {
+		t.Fatalf("deadline job: %v / %+v", err, res)
+	}
+	// Client cancel mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, &Job{ID: "cancel", Image: spin, Cores: 1, MaxCycles: 500_000_000})
+		cancelDone <- err
+	}()
+	waitFor(t, "cancel job running", func() bool { return w.Metrics().MachinesOut == 1 })
+	cancel()
+	if err := <-cancelDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job returned %v, want context.Canceled", err)
+	}
+	waitFor(t, "canceled job released", func() bool { return w.Metrics().MachinesOut == 0 })
+
+	// Coordinator dies mid-run: the worker's connection context
+	// cancels and the running machine must still flow back.
+	midrunDone := make(chan struct{})
+	go func() {
+		defer close(midrunDone)
+		c.Do(context.Background(), &Job{ID: "conn-death", Image: spin, Cores: 1, MaxCycles: 500_000_000})
+	}()
+	waitFor(t, "conn-death job running", func() bool { return w.Metrics().MachinesOut == 1 })
+	c.Close()
+	<-midrunDone
+	waitFor(t, "conn-death job released", func() bool { return w.Metrics().MachinesOut == 0 })
+
+	m := w.Metrics()
+	if m.CheckedOut != m.PoolReturned+m.PoolDiscarded {
+		t.Errorf("accounting does not balance: %+v", m)
+	}
+	if m.CheckedOut != 5 {
+		t.Errorf("checked out %d machines, want 5 (%+v)", m.CheckedOut, m)
+	}
+	if m.Completed != 1 || m.Errored != 1 || m.Deadline != 1 || m.Canceled != 2 {
+		t.Errorf("outcome counters off: %+v", m)
+	}
+	// Every returned machine is actually in the pool, idle.
+	if idle := w.pool.Idle(); idle == 0 {
+		t.Error("no idle machines pooled after returns")
+	}
+}
+
+// TestQueueFullRefusesAdmission: a backend whose queue is at bound
+// answers ErrQueueFull instead of queueing unboundedly.
+func TestQueueFullRefusesAdmission(t *testing.T) {
+	// No worker listens: the single dispatcher sits in dial-retry
+	// backoff holding one job while the queue holds the next.
+	c, err := New(Config{
+		Backends: []string{"127.0.0.1:1"}, PerBackend: 1, QueueDepth: 1,
+		Attempts: 2, RetryBackoff: 30 * time.Second, DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	image := imageOf(t, quickSource)
+	launch := func(id string) {
+		go c.Do(context.Background(), &Job{ID: id, Image: image, Cores: 1, MaxCycles: 1000})
+	}
+	launch("held") // picked up by the dispatcher, stuck in backoff
+	waitFor(t, "first job picked up", func() bool { return c.Metrics().Retries == 1 })
+	launch("queued") // fills the one queue slot
+	waitFor(t, "queue depth 1", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.backs[0].queue) == 1
+	})
+	_, err = c.Do(context.Background(), &Job{ID: "overflow", Image: image, Cores: 1, MaxCycles: 1000})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow returned %v, want ErrQueueFull", err)
+	}
+}
+
+// TestAllBackendsDeadFailsAfterAttempts: with nothing listening the
+// job exhausts its attempts and reports the last transport error.
+func TestAllBackendsDeadFailsAfterAttempts(t *testing.T) {
+	c, err := New(Config{
+		Backends: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Attempts: 2, RetryBackoff: time.Millisecond, DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do(context.Background(), &Job{ID: "doomed", Image: imageOf(t, quickSource),
+		Cores: 1, MaxCycles: 1000})
+	if err == nil || errors.Is(err, ErrQueueFull) {
+		t.Fatalf("dead fleet returned %v, want a dispatch failure", err)
+	}
+	if m := c.Metrics(); m.Failed != 1 || m.Completed != 0 {
+		t.Errorf("metrics = %+v, want 1 failed", m)
+	}
+}
+
+// TestConfigValidation: empty and duplicate backend lists refuse.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no backends accepted")
+	}
+	if _, err := New(Config{Backends: []string{"a:1", "a:1"}}); err == nil {
+		t.Error("duplicate backends accepted")
+	}
+	if _, err := New(Config{Backends: []string{""}}); err == nil {
+		t.Error("empty backend address accepted")
+	}
+}

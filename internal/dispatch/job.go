@@ -1,0 +1,136 @@
+// Package dispatch shards simulation jobs across worker processes: the
+// distributed half of lbp-serve. A Coordinator owns a set of backend
+// addresses and routes each Job to one over the internal/rpc protocol;
+// a Worker executes jobs on its local warm sim.Pool and answers with
+// the deterministic result.
+//
+// Determinism is what makes the whole design safe: every job is a pure
+// function of its canonical content (sim.CacheKey hashes the program
+// image and every result-affecting parameter), so any worker produces
+// bit-identical results, a retried job cannot diverge from its first
+// attempt, and a job migrated mid-run via a checkpoint finishes with
+// exactly the digest of an uninterrupted run.
+//
+// Routing is digest-affine: the coordinator consistent-hashes the
+// job's content address onto the backend ring, so repeats of the same
+// job land on the same worker, whose warm sim.Pool machines and
+// decode-cache images stay hot for it. Affinity is a performance
+// preference, never a correctness requirement — work stealing moves
+// queued jobs to idle backends when an affine queue runs deep, and
+// failover re-dispatches to the ring successor when a backend dies.
+package dispatch
+
+import (
+	"repro/internal/mem"
+	"repro/internal/perf"
+)
+
+// Protocol method names (coordinator → worker over internal/rpc).
+const (
+	// MethodRun executes one Job and returns a Result. While it is
+	// pending the worker may push MethodCheckpoint notifications.
+	MethodRun = "lbp.run"
+	// MethodPing returns WorkerStats (liveness + load).
+	MethodPing = "lbp.ping"
+	// MethodCancel is a client-to-worker notification: stop the named
+	// job at its next slice boundary (the pending MethodRun answers
+	// with StatusCanceled).
+	MethodCancel = "lbp.cancel"
+	// MethodCheckpoint is a worker-to-coordinator notification carrying
+	// a running job's latest streamed checkpoint.
+	MethodCheckpoint = "lbp.checkpoint"
+)
+
+// Job is the wire form of one simulation: the program travels as a
+// serialized image (the coordinator compiles source exactly once, at
+// the HTTP edge), plus the resolved result-affecting parameters.
+type Job struct {
+	ID string `json:"id"`
+
+	// Key is the job's canonical content address (sim.CacheKey): the
+	// affinity routing key, and the proof that two jobs with equal keys
+	// are the same pure function.
+	Key string `json:"key"`
+
+	// Image is the serialized program (asm.Program.WriteImage bytes);
+	// base64 on the wire.
+	Image []byte `json:"image"`
+
+	Cores     int    `json:"cores,omitempty"`
+	BankBytes uint32 `json:"bankBytes,omitempty"`
+	MaxCycles uint64 `json:"maxCycles,omitempty"`
+	Digest    bool   `json:"digest,omitempty"`
+	Ring      int    `json:"ring,omitempty"`
+	Profile   bool   `json:"profile,omitempty"`
+
+	// DeadlineMs bounds one attempt's host wall-clock run time (0 = no
+	// worker-side deadline). Each re-dispatch attempt gets the full
+	// budget: the deadline guards against a wedged run, not total
+	// latency, which the client's own context bounds end to end.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+
+	// Checkpoint, when non-empty, resumes the job from serialized
+	// machine state instead of loading Image fresh — how a job migrates
+	// to another worker after its first backend died mid-run.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+
+	// CheckpointEvery streams a checkpoint notification to the
+	// coordinator every n simulated cycles (0 = never). Serialization
+	// happens between Advance slices at cycle boundaries, so streaming
+	// never perturbs the simulated results.
+	CheckpointEvery uint64 `json:"checkpointEvery,omitempty"`
+}
+
+// Job outcome statuses (Result.Status). They mirror the serving
+// layer's values so the coordinator can map them 1:1 onto HTTP codes.
+const (
+	StatusOK       = "ok"       // run completed (Halt says how)
+	StatusError    = "error"    // machine fault or cycle budget exceeded
+	StatusDeadline = "deadline" // the attempt's wall-clock deadline elapsed
+	StatusCanceled = "canceled" // coordinator canceled the job mid-run
+)
+
+// Result is the outcome of one Job. Halt, Cycles, Retired, IPC,
+// Digest, Events, Tail, Mem and Perf are fully deterministic — equal
+// for any worker, any attempt, resumed or not. Worker, PoolWarm and
+// Resumed are host-side diagnostics.
+type Result struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Halt    string  `json:"halt,omitempty"`
+	Cycles  uint64  `json:"cycles,omitempty"`
+	Retired uint64  `json:"retired,omitempty"`
+	IPC     float64 `json:"ipc,omitempty"`
+
+	Digest uint64   `json:"digest,omitempty"`
+	Events uint64   `json:"events,omitempty"`
+	Tail   []string `json:"tail,omitempty"`
+
+	Mem  *mem.Stats     `json:"mem,omitempty"`
+	Perf *perf.Snapshot `json:"perf,omitempty"`
+
+	Worker   string `json:"worker,omitempty"`  // address that produced the result
+	PoolWarm bool   `json:"poolWarm"`          // served by a warm pooled machine
+	Resumed  bool   `json:"resumed,omitempty"` // ran from a migrated checkpoint
+}
+
+// CheckpointNote is the payload of a MethodCheckpoint notification.
+type CheckpointNote struct {
+	ID    string `json:"id"`
+	Cycle uint64 `json:"cycle"`
+	State []byte `json:"state"`
+}
+
+// CancelNote is the payload of a MethodCancel notification.
+type CancelNote struct {
+	ID string `json:"id"`
+}
+
+// WorkerStats is MethodPing's result: enough load signal for health
+// checks and dashboards.
+type WorkerStats struct {
+	Inflight    int64  `json:"inflight"`    // jobs currently running
+	Completed   uint64 `json:"completed"`   // jobs finished since start (any status)
+	MachinesOut int64  `json:"machinesOut"` // pool machines checked out right now
+}

@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual points each backend projects
+// onto the hash ring. 64 keeps the load split within a few percent of
+// even for small fleets while the ring stays tiny (a few KB).
+const ringReplicas = 64
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// backend index.
+type point struct {
+	hash    uint64
+	backend int
+}
+
+// ring consistent-hashes job keys onto backend indices. It is built
+// once and never mutated, so lookups need no lock; liveness is the
+// caller's concern (walk skips backends the caller excludes).
+type ring struct {
+	points []point
+	n      int // backend count
+}
+
+// buildRing projects every backend onto the ring.
+func buildRing(backends []string) ring {
+	r := ring{points: make([]point, 0, len(backends)*ringReplicas), n: len(backends)}
+	for i, addr := range backends {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, point{hashString(fmt.Sprintf("%s#%d", addr, v)), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Identical hashes (vanishingly rare) order by backend so the
+		// ring is deterministic regardless of sort internals.
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r
+}
+
+// hashString is FNV-1a 64 with a splitmix64 finalizer. FNV alone
+// diffuses trailing-byte changes poorly — near-sequential keys (job
+// IDs, counter-suffixed names) land within ~2^44 of each other on a
+// 2^64 ring and pile onto one backend — so the finalizer avalanches
+// the result. Both halves are seedless constants, so affinity is
+// stable across processes and coordinator restarts.
+func hashString(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// walk returns the distinct backend indices owning key, in ring order
+// starting from the key's successor point: walk(key)[0] is the affine
+// backend, the rest is the deterministic failover order.
+func (r ring) walk(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			order = append(order, p.backend)
+		}
+	}
+	return order
+}

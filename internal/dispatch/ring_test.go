@@ -1,0 +1,68 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingWalkCoversAllBackends: every key's walk visits each backend
+// exactly once, starting from the affine owner.
+func TestRingWalkCoversAllBackends(t *testing.T) {
+	backends := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := buildRing(backends)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.walk(key)
+		if len(order) != len(backends) {
+			t.Fatalf("walk(%q) = %v, want %d distinct backends", key, order, len(backends))
+		}
+		seen := make(map[int]bool)
+		for _, b := range order {
+			if b < 0 || b >= len(backends) || seen[b] {
+				t.Fatalf("walk(%q) = %v: out of range or repeated index", key, order)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestRingAffinityIsStable: the same key maps to the same backend on
+// every ring built from the same addresses — across processes too,
+// since the hash is seedless (FNV-1a + a fixed finalizer).
+func TestRingAffinityIsStable(t *testing.T) {
+	backends := []string{"a:1", "b:2", "c:3"}
+	r1, r2 := buildRing(backends), buildRing(backends)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		if a, b := r1.walk(key)[0], r2.walk(key)[0]; a != b {
+			t.Fatalf("key %q: affine backend %d vs %d across identical rings", key, a, b)
+		}
+	}
+}
+
+// TestRingSpreadsLoad: with virtual nodes, no backend owns a wildly
+// disproportionate share of uniformly random keys.
+func TestRingSpreadsLoad(t *testing.T) {
+	backends := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := buildRing(backends)
+	counts := make([]int, len(backends))
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.walk(fmt.Sprintf("%064x", i))[0]]++
+	}
+	for i, n := range counts {
+		// Fair share is 1000; ±60% tolerates consistent hashing's
+		// natural imbalance at 64 virtual nodes without flaking.
+		if n < keys/10 || n > keys/2 {
+			t.Errorf("backend %d owns %d of %d keys: spread too skewed (%v)", i, n, keys, counts)
+		}
+	}
+}
+
+// TestRingEmpty: a ring over no backends walks to nothing (the
+// coordinator refuses to build at all, but the ring must not panic).
+func TestRingEmpty(t *testing.T) {
+	if got := (ring{}).walk("anything"); got != nil {
+		t.Errorf("empty ring walk = %v, want nil", got)
+	}
+}

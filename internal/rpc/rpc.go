@@ -1,0 +1,406 @@
+// Package rpc is the wire protocol between a coordinator lbp-serve and
+// its worker backends: a minimal JSON-RPC 2.0 peer over a stream
+// transport, newline-delimited JSON frames on a TCP connection.
+//
+// The shape follows the classic bidirectional JSON-RPC split:
+//
+//   - The client (coordinator side) issues calls — Call multiplexes any
+//     number of concurrent requests over one connection by id — and
+//     receives server-initiated notifications (requests without an id),
+//     which carry mid-job progress such as streamed checkpoints.
+//   - The server (worker side) dispatches each incoming call to a
+//     Handler in its own goroutine and can push notifications back over
+//     the same connection while a call is still pending.
+//
+// Failure semantics are deliberately coarse, because the dispatch layer
+// above needs exactly one distinction: a *Error return means the remote
+// handler ran and refused (terminal — retrying elsewhere would fail the
+// same way), while any other error means the transport died (the peer
+// may never have seen, or may still be running, the request — the
+// caller decides whether to re-dispatch). ErrClosed wraps every
+// transport-death path so callers can errors.Is for it.
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// message is one JSON-RPC frame: a request (Method set, ID set), a
+// notification (Method set, ID nil) or a response (Method empty).
+type message struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      *uint64         `json:"id,omitempty"`
+	Method  string          `json:"method,omitempty"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+}
+
+// Error is a remote handler's refusal: the request was delivered and
+// answered, and the answer is "no". It is terminal — unlike a transport
+// error, retrying the call on another connection would refuse again.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("rpc: remote error %d: %s", e.Code, e.Message) }
+
+// JSON-RPC 2.0 predefined error codes (the subset this repo uses).
+const (
+	CodeParse          = -32700
+	CodeInvalidRequest = -32600
+	CodeMethodNotFound = -32601
+	CodeInvalidParams  = -32602
+	CodeInternal       = -32603
+)
+
+// ErrClosed reports that the connection died with the call outstanding:
+// the remote may or may not have processed it.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// writeMessage sends one frame. The encoder owns framing (Encode
+// appends the newline); enc must be guarded by the caller's mutex.
+func writeMessage(enc *json.Encoder, m *message) error {
+	m.JSONRPC = "2.0"
+	return enc.Encode(m)
+}
+
+// Conn is the client side of one connection. It is safe for concurrent
+// use: any number of goroutines may Call at once.
+type Conn struct {
+	c   net.Conn
+	enc *json.Encoder
+	wmu sync.Mutex // serializes frame writes
+
+	mu     sync.Mutex
+	calls  map[uint64]chan *message
+	nextID uint64
+	err    error // set once the read loop exits
+	closed chan struct{}
+
+	notify func(method string, params json.RawMessage)
+}
+
+// Dial connects to a server. The notify callback, when non-nil,
+// receives server-initiated notifications; it runs on the read loop, so
+// it must not block (hand off long work to another goroutine).
+func Dial(addr string, notify func(method string, params json.RawMessage)) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc, notify), nil
+}
+
+// NewConn wraps an established transport as a client connection.
+func NewConn(nc net.Conn, notify func(method string, params json.RawMessage)) *Conn {
+	c := &Conn{
+		c:      nc,
+		enc:    json.NewEncoder(nc),
+		calls:  make(map[uint64]chan *message),
+		closed: make(chan struct{}),
+		notify: notify,
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop demultiplexes responses to their pending calls and routes
+// notifications to the handler, until the transport dies.
+func (c *Conn) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(c.c))
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			c.fail(err)
+			return
+		}
+		switch {
+		case m.Method != "" && m.ID == nil:
+			if c.notify != nil {
+				c.notify(m.Method, m.Params)
+			}
+		case m.Method == "" && m.ID != nil:
+			c.mu.Lock()
+			ch := c.calls[*m.ID]
+			delete(c.calls, *m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- &m
+			}
+		default:
+			// A server calling methods on us is outside this protocol;
+			// drop the frame rather than wedge the connection.
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending call.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if cause == nil || errors.Is(cause, io.EOF) {
+			c.err = ErrClosed
+		} else {
+			c.err = fmt.Errorf("%w: %v", ErrClosed, cause)
+		}
+		close(c.closed)
+	}
+	pending := c.calls
+	c.calls = make(map[uint64]chan *message)
+	c.mu.Unlock()
+	c.c.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close tears down the connection; pending calls return ErrClosed.
+func (c *Conn) Close() error {
+	c.fail(nil)
+	return nil
+}
+
+// Err returns the terminal connection error, nil while it is alive.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Closed is closed once the connection has died.
+func (c *Conn) Closed() <-chan struct{} { return c.closed }
+
+// Call invokes method on the peer and decodes the result into result
+// (which may be nil to discard it). A *Error return is the remote
+// handler's refusal; any other error wraps ErrClosed (transport death)
+// or is the context's. On ctx expiry the call is abandoned — the remote
+// may still be running it; protocol-level cancellation is the caller's
+// business (see dispatch's cancel notifications).
+func (c *Conn) Call(ctx context.Context, method string, params, result any) error {
+	raw, err := marshalParams(params)
+	if err != nil {
+		return err
+	}
+	ch := make(chan *message, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err = writeMessage(c.enc, &message{ID: &id, Method: method, Params: raw})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		c.fail(err)
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return c.Err()
+		}
+		if m.Error != nil {
+			return m.Error
+		}
+		if result != nil && len(m.Result) > 0 {
+			if err := json.Unmarshal(m.Result, result); err != nil {
+				return fmt.Errorf("rpc: decoding %s result: %w", method, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Notify sends a fire-and-forget notification to the peer.
+func (c *Conn) Notify(method string, params any) error {
+	raw, err := marshalParams(params)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeMessage(c.enc, &message{Method: method, Params: raw}); err != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return nil
+}
+
+func marshalParams(params any) (json.RawMessage, error) {
+	if params == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: encoding params: %w", err)
+	}
+	return raw, nil
+}
+
+// Handler dispatches one incoming call. The returned value is encoded
+// as the result; a *Error return travels verbatim, any other error
+// becomes a CodeInternal *Error. ctx is canceled when the connection
+// dies, so long-running handlers stop working for a peer that will
+// never read the answer.
+type Handler interface {
+	ServeRPC(ctx context.Context, conn *ServerConn, method string, params json.RawMessage) (any, error)
+}
+
+// ServerConn is the server's end of one client connection; handlers use
+// it to push notifications while calls are in flight.
+type ServerConn struct {
+	c   net.Conn
+	enc *json.Encoder
+	wmu sync.Mutex
+}
+
+// Notify pushes a notification to the connected client.
+func (sc *ServerConn) Notify(method string, params any) error {
+	raw, err := marshalParams(params)
+	if err != nil {
+		return err
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := writeMessage(sc.enc, &message{Method: method, Params: raw}); err != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return nil
+}
+
+func (sc *ServerConn) reply(id uint64, result any, err error) error {
+	m := &message{ID: &id}
+	if err != nil {
+		var re *Error
+		if !errors.As(err, &re) {
+			re = &Error{Code: CodeInternal, Message: err.Error()}
+		}
+		m.Error = re
+	} else {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			m.Error = &Error{Code: CodeInternal, Message: fmt.Sprintf("encoding result: %v", err)}
+		} else {
+			m.Result = raw
+		}
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return writeMessage(sc.enc, m)
+}
+
+// Server accepts connections and serves calls on each.
+type Server struct {
+	h Handler
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewServer builds a server around a handler; start it with Serve.
+func NewServer(h Handler) *Server { return &Server{h: h, conns: make(map[net.Conn]struct{})} }
+
+// Serve accepts connections on l until Close. It always returns a
+// non-nil error; after Close that error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			nc.Close()
+			return net.ErrClosed
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops accepting and severs every live connection (in-flight
+// handler contexts cancel).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	return nil
+}
+
+// serveConn reads calls from one client and dispatches each to the
+// handler in its own goroutine, so a long-running job never blocks a
+// health probe on the same connection.
+func (s *Server) serveConn(nc net.Conn) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := &ServerConn{c: nc, enc: json.NewEncoder(nc)}
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	var wg sync.WaitGroup
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			break
+		}
+		if m.Method == "" {
+			continue // a stray response; nothing to do with it
+		}
+		wg.Add(1)
+		go func(m message) {
+			defer wg.Done()
+			res, err := s.h.ServeRPC(ctx, sc, m.Method, m.Params)
+			if m.ID != nil {
+				_ = sc.reply(*m.ID, res, err)
+			}
+		}(m)
+	}
+	cancel()
+	nc.Close()
+	wg.Wait()
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}

@@ -1,0 +1,277 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler implements the test server: "echo" returns its params,
+// "refuse" returns a *Error, "notify" pushes k notifications back,
+// "hang" blocks until its connection context cancels.
+type echoHandler struct {
+	hung chan struct{} // receives once hang observes its cancel
+}
+
+func (h *echoHandler) ServeRPC(ctx context.Context, conn *ServerConn, method string, params json.RawMessage) (any, error) {
+	switch method {
+	case "echo":
+		var v map[string]any
+		if err := json.Unmarshal(params, &v); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		return v, nil
+	case "refuse":
+		return nil, &Error{Code: 42, Message: "on principle"}
+	case "boom":
+		return nil, errors.New("handler exploded")
+	case "notify":
+		var n int
+		if err := json.Unmarshal(params, &n); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := conn.Notify("tick", i); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case "hang":
+		<-ctx.Done()
+		if h.hung != nil {
+			h.hung <- struct{}{}
+		}
+		return nil, ctx.Err()
+	}
+	return nil, &Error{Code: CodeMethodNotFound, Message: method}
+}
+
+// startServer boots a server on an ephemeral port and returns its
+// address; cleanup closes it.
+func startServer(t *testing.T, h Handler) (string, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr, _ := startServer(t, &echoHandler{})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var got map[string]any
+	if err := c.Call(context.Background(), "echo", map[string]any{"x": "y"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != "y" {
+		t.Errorf("echo returned %v, want x=y", got)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	addr, _ := startServer(t, &echoHandler{})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const calls = 32
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var got map[string]any
+			params := map[string]any{"i": fmt.Sprint(i)}
+			if err := c.Call(context.Background(), "echo", params, &got); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if got["i"] != fmt.Sprint(i) {
+				t.Errorf("call %d got %v: responses crossed", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRemoteErrorIsTerminal(t *testing.T) {
+	addr, _ := startServer(t, &echoHandler{})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Call(context.Background(), "refuse", nil, nil)
+	var re *Error
+	if !errors.As(err, &re) || re.Code != 42 {
+		t.Fatalf("refuse returned %v, want *Error code 42", err)
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Error("a remote refusal must not look like a transport death")
+	}
+	// A plain handler error maps to CodeInternal and the connection
+	// stays usable.
+	err = c.Call(context.Background(), "boom", nil, nil)
+	if !errors.As(err, &re) || re.Code != CodeInternal {
+		t.Fatalf("boom returned %v, want CodeInternal", err)
+	}
+	if err := c.Call(context.Background(), "echo", map[string]any{}, nil); err != nil {
+		t.Fatalf("connection unusable after a remote error: %v", err)
+	}
+}
+
+func TestNotificationsDuringCall(t *testing.T) {
+	addr, _ := startServer(t, &echoHandler{})
+	var mu sync.Mutex
+	var ticks []int
+	c, err := Dial(addr, func(method string, params json.RawMessage) {
+		if method != "tick" {
+			t.Errorf("unexpected notification %q", method)
+			return
+		}
+		var i int
+		if err := json.Unmarshal(params, &i); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		ticks = append(ticks, i)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var n int
+	if err := c.Call(context.Background(), "notify", 5, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("notify result = %d, want 5", n)
+	}
+	// The notifications were written before the response on the same
+	// ordered stream, so they have all been handled by now.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ticks) != 5 {
+		t.Fatalf("received %d notifications, want 5 (%v)", len(ticks), ticks)
+	}
+	for i, v := range ticks {
+		if v != i {
+			t.Errorf("tick %d = %d: notifications reordered", i, v)
+		}
+	}
+}
+
+func TestServerCloseFailsPendingCalls(t *testing.T) {
+	h := &echoHandler{hung: make(chan struct{}, 1)}
+	addr, srv := startServer(t, h)
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- c.Call(context.Background(), "hang", nil, nil) }()
+	time.Sleep(10 * time.Millisecond) // let the call reach the handler
+	srv.Close()
+
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending call returned %v, want ErrClosed", err)
+	}
+	// The handler's context cancels, so the worker-side job unwinds.
+	select {
+	case <-h.hung:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler context never canceled after server close")
+	}
+	// New calls on the dead connection refuse immediately.
+	if err := c.Call(context.Background(), "echo", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call on dead connection returned %v, want ErrClosed", err)
+	}
+	select {
+	case <-c.Closed():
+	default:
+		t.Error("Closed() not signaled after transport death")
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	addr, _ := startServer(t, &echoHandler{})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Call(ctx, "hang", nil, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled call returned %v, want context.Canceled", err)
+	}
+	// The connection survives an abandoned call.
+	if err := c.Call(context.Background(), "echo", map[string]any{}, nil); err != nil {
+		t.Fatalf("connection unusable after abandoned call: %v", err)
+	}
+}
+
+func TestClientNotification(t *testing.T) {
+	// Client-to-server notifications dispatch to the handler with no
+	// reply; observable via a follow-up call ordering on the stream.
+	got := make(chan string, 1)
+	h := handlerFunc(func(ctx context.Context, conn *ServerConn, method string, params json.RawMessage) (any, error) {
+		if method == "note" {
+			var s string
+			json.Unmarshal(params, &s)
+			got <- s
+			return nil, nil
+		}
+		return "ok", nil
+	})
+	addr, _ := startServer(t, h)
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Notify("note", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "hello" {
+			t.Errorf("notification carried %q, want hello", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notification never reached the handler")
+	}
+}
+
+// handlerFunc adapts a function to Handler.
+type handlerFunc func(ctx context.Context, conn *ServerConn, method string, params json.RawMessage) (any, error)
+
+func (f handlerFunc) ServeRPC(ctx context.Context, conn *ServerConn, method string, params json.RawMessage) (any, error) {
+	return f(ctx, conn, method, params)
+}

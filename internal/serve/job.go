@@ -51,6 +51,12 @@ func (r *JobRequest) validate() error {
 	if hasImage && r.Lang != "" {
 		return fmt.Errorf("lang applies to source, not image")
 	}
+	// An image was assembled against a fixed bank layout; resizing the
+	// banks underneath it silently runs a different machine than the
+	// one the program was built for. Reject instead of ignoring.
+	if hasImage && r.BankBytes != 0 {
+		return fmt.Errorf("bankBytes applies to source, not image (the image fixed its bank layout at assembly)")
+	}
 	if r.Cores < 0 {
 		return fmt.Errorf("cores %d must not be negative", r.Cores)
 	}
@@ -142,6 +148,10 @@ type JobResult struct {
 	// Checkpoint is the server-side path of the serialized machine
 	// state of a preempted job; lbp-run -resume picks it back up.
 	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// Worker is the backend address that ran a dispatched job
+	// (coordinator mode only; host-side, zeroed in cached payloads).
+	Worker string `json:"worker,omitempty"`
 
 	Cached   bool    `json:"cached,omitempty"` // served from the result cache, no cycles simulated
 	PoolWarm bool    `json:"poolWarm"`         // served by a warm pooled machine

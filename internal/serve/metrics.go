@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/dispatch"
 	"repro/internal/lbp"
 	"repro/internal/sim"
 )
@@ -84,4 +85,21 @@ func (m *metrics) writePrometheus(w io.Writer, pool sim.PoolStats, idle int, cs 
 	counter("lbp_serve_decode_cache_hits_total", "Program loads served by an already-decoded shared image.", dh)
 	counter("lbp_serve_decode_cache_misses_total", "Program loads that decoded a fresh image.", dm)
 	gauge("lbp_serve_decode_cache_entries", "Decoded program images currently cached.", float64(de))
+}
+
+// writeDispatchMetrics appends the coordinator's fleet counters
+// (coordinator mode only).
+func writeDispatchMetrics(w io.Writer, dm dispatch.Metrics) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("lbp_serve_dispatch_jobs_total", "Jobs admitted to the dispatcher.", dm.Dispatched)
+	counter("lbp_serve_dispatch_completed_total", "Dispatched jobs answered with a worker result.", dm.Completed)
+	counter("lbp_serve_dispatch_failed_total", "Dispatched jobs that exhausted their attempts or were abandoned.", dm.Failed)
+	counter("lbp_serve_dispatch_retries_total", "Re-dispatches after a backend transport death.", dm.Retries)
+	counter("lbp_serve_dispatch_migrations_total", "Retries that resumed from a streamed checkpoint.", dm.Migrations)
+	counter("lbp_serve_dispatch_steals_total", "Jobs run by a non-affine backend to balance load.", dm.Steals)
+	counter("lbp_serve_dispatch_checkpoints_total", "Migration checkpoints streamed by workers.", dm.Checkpoints)
+	fmt.Fprintf(w, "# HELP lbp_serve_dispatch_backends_up Backends with a live connection.\n"+
+		"# TYPE lbp_serve_dispatch_backends_up gauge\nlbp_serve_dispatch_backends_up %d\n", dm.BackendsUp)
 }

@@ -398,6 +398,11 @@ func TestRequestValidation(t *testing.T) {
 		{"no program", JobRequest{}},
 		{"both forms", JobRequest{Source: "main:\n", Image: []byte{1}}},
 		{"bad lang", JobRequest{Source: "x", Lang: "rust"}},
+		{"lang with image", JobRequest{Image: []byte{1}, Lang: "s"}},
+		// Regression: bankBytes used to be silently ignored for image
+		// jobs, running the image on a different machine geometry than
+		// the one its data layout was assembled for.
+		{"bank with image", JobRequest{Image: []byte{1}, BankBytes: 1 << 16}},
 		{"negative cores", JobRequest{Source: "x", Cores: -1}},
 		{"cores beyond MaxCores", JobRequest{Source: "x", Cores: 1025}},
 		{"bank not power of two", JobRequest{Source: "x", BankBytes: 12345}},

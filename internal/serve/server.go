@@ -77,6 +77,13 @@ type Config struct {
 	// consulted before any cycle is simulated (nil = no caching).
 	Cache *cache.Store
 
+	// Dispatcher, when non-nil, turns the server into a coordinator:
+	// jobs that miss the cache are sharded across worker backends
+	// instead of running on the local pool. The HTTP surface is
+	// unchanged; the shared cache is still consulted (and filled)
+	// before any job is dispatched.
+	Dispatcher Dispatcher
+
 	MaxBodyBytes int64 // request body cap (0 = 8 MiB)
 
 	// testGate, when set, is called by a worker after dequeuing a job
@@ -371,7 +378,7 @@ func (s *Server) storeResult(j *job) {
 		return
 	}
 	payload := j.res
-	payload.ID, payload.Checkpoint = "", ""
+	payload.ID, payload.Checkpoint, payload.Worker = "", "", ""
 	payload.Cached, payload.PoolWarm = false, false
 	payload.QueueMs, payload.RunMs = 0, 0
 	b, err := json.Marshal(&payload)
@@ -460,6 +467,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if s.cfg.Dispatcher != nil {
+		s.runRemote(w, r, &req, prog, cacheKey, maxCycles, deadline)
+		return
+	}
 	j := &job{
 		id:       fmt.Sprintf("job-%06d", s.jobID()),
 		req:      req,
@@ -503,6 +514,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		cs = s.cfg.Cache.Stats()
 	}
 	s.met.writePrometheus(w, s.pool.Stats(), s.pool.Idle(), cs)
+	if s.cfg.Dispatcher != nil {
+		writeDispatchMetrics(w, s.cfg.Dispatcher.Metrics())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -23,13 +23,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./internal/cache ./internal/fuzzgen ./cmd/lbp-bench
+go test -race ./internal/runner ./internal/figures ./internal/sim ./internal/serve ./internal/cache ./internal/rpc ./internal/dispatch ./internal/fuzzgen ./cmd/lbp-bench
 
 # Smoke-test the serving daemon over real HTTP: ephemeral port, the
 # same job twice (the repeat must be a cache hit with an identical
 # digest), /healthz, then a clean SIGTERM drain.
 smokedir=$(mktemp -d)
-trap 'kill "$servepid" 2>/dev/null || true; rm -rf "$smokedir"' EXIT INT TERM
+servepid="" w1pid="" w2pid="" coordpid=""
+trap 'kill $servepid $w1pid $w2pid $coordpid 2>/dev/null || true; rm -rf "$smokedir"' EXIT INT TERM
 go build -o "$smokedir/lbp-serve" ./cmd/lbp-serve
 "$smokedir/lbp-serve" -addr 127.0.0.1:0 -addrfile "$smokedir/addr" \
     -cachedir "$smokedir/cache" \
@@ -71,6 +72,74 @@ kill -TERM "$servepid"
 wait "$servepid"
 grep -q "drained" "$smokedir/serve.log"
 echo "verify: lbp-serve smoke OK"
+
+# Distributed smoke: a coordinator sharding jobs over two worker
+# processes via JSON-RPC. The same job is run cold, repeated (no result
+# cache here, so the repeat re-executes on a warm affine machine), and
+# again after one worker is killed (failing over to the survivor) —
+# all three responses must carry byte-identical deterministic fields.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$2 never wrote its address:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+"$smokedir/lbp-serve" -worker 127.0.0.1:0 -addrfile "$smokedir/w1.addr" \
+    >"$smokedir/w1.log" 2>&1 &
+w1pid=$!
+"$smokedir/lbp-serve" -worker 127.0.0.1:0 -addrfile "$smokedir/w2.addr" \
+    >"$smokedir/w2.log" 2>&1 &
+w2pid=$!
+wait_addr "$smokedir/w1.addr" "worker 1" "$smokedir/w1.log"
+wait_addr "$smokedir/w2.addr" "worker 2" "$smokedir/w2.log"
+"$smokedir/lbp-serve" -addr 127.0.0.1:0 -addrfile "$smokedir/coord.addr" \
+    -backends "$(cat "$smokedir/w1.addr"),$(cat "$smokedir/w2.addr")" \
+    >"$smokedir/coord.log" 2>&1 &
+coordpid=$!
+wait_addr "$smokedir/coord.addr" "coordinator" "$smokedir/coord.log"
+caddr=$(cat "$smokedir/coord.addr")
+djob='{"source":"main:\n\tli t1, 60000\nloop:\n\taddi t1, t1, -1\n\tbne t1, zero, loop\n\tli ra, 0\n\tli t0, -1\n\tp_ret\n","lang":"s","cores":1,"digest":true}'
+curl -fsS -X POST "http://$caddr/jobs" -d "$djob" >"$smokedir/djob1.json"
+grep -q '"status": "ok"' "$smokedir/djob1.json"
+grep -q '"worker":' "$smokedir/djob1.json"
+curl -fsS -X POST "http://$caddr/jobs" -d "$djob" >"$smokedir/djob2.json"
+grep -q '"status": "ok"' "$smokedir/djob2.json"
+kill -TERM "$w1pid"
+wait "$w1pid" 2>/dev/null || true
+# Several posts after the kill: uncacheable jobs route by ID, so some
+# of these land on the dead backend and must fail over to the survivor.
+for n in 3 4 5; do
+    curl -fsS -X POST "http://$caddr/jobs" -d "$djob" >"$smokedir/djob$n.json"
+    grep -q '"status": "ok"' "$smokedir/djob$n.json"
+done
+det1=$(grep -E '"(digest|cycles|retired)"' "$smokedir/djob1.json")
+if [ -z "$det1" ]; then
+    echo "distributed smoke: no deterministic fields in djob1.json" >&2
+    exit 1
+fi
+for n in 2 3 4 5; do
+    detn=$(grep -E '"(digest|cycles|retired)"' "$smokedir/djob$n.json")
+    if [ "$det1" != "$detn" ]; then
+        echo "distributed determinism mismatch across worker kill (job $n):" >&2
+        printf '%s\n---\n%s\n' "$det1" "$detn" >&2
+        exit 1
+    fi
+done
+curl -fsS "http://$caddr/metrics" >"$smokedir/dmetrics.txt"
+grep -q '^lbp_serve_dispatch_jobs_total 5$' "$smokedir/dmetrics.txt"
+grep -q '^lbp_serve_dispatch_completed_total 5$' "$smokedir/dmetrics.txt"
+kill -TERM "$coordpid"
+wait "$coordpid"
+grep -q "drained" "$smokedir/coord.log"
+kill -TERM "$w2pid"
+wait "$w2pid" 2>/dev/null || true
+echo "verify: distributed smoke OK"
 
 # Determinism fuzzing smoke: a small fixed-seed campaign across the
 # {cores} x {-simworkers} x {-ffwd} matrix must find zero divergences
